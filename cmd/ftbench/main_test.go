@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "claim:") {
+		t.Error("list should cite the claims")
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-run", "E4,E10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E4: PASS") || !strings.Contains(out, "E10: PASS") {
+		t.Errorf("missing pass lines:\n%s", out)
+	}
+	if !strings.Contains(out, "all 2 experiment(s) passed") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-quick", "-run", "E4,E10,E9"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-parallel", "-run", "E4,E10,E9"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	// Reports are deterministic under the seed and printed in order, so
+	// apart from the per-experiment timing lines the outputs must agree.
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, " in ") && strings.HasPrefix(strings.TrimSpace(line), "(E") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(seq.String()) != strip(par.String()) {
+		t.Errorf("parallel output differs:\n--- sequential\n%s\n--- parallel\n%s", seq.String(), par.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E99"}, &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-run", "E10", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files exported")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ",") {
+		t.Error("CSV content looks wrong")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

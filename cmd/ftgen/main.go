@@ -1,0 +1,160 @@
+// Command ftgen generates graphs in the library's text format for use with
+// the ftspanner and ftbench tools.
+//
+// Usage:
+//
+//	ftgen -type complete -n 50 -out K50.graph
+//	ftgen -type gnm -n 200 -m 2000 -seed 7 -weights 1,2 -out G.graph
+//	ftgen -type geometric -n 300 -radius 0.12 -out net.graph
+//	ftgen -type lowerbound -n 20 -stretch 3 -f 4 -out hard.graph
+//
+// Types: complete, bipartite, cycle, path, star, grid, hypercube, petersen,
+// gnp, gnm, cgnm (connected), geometric, regular, ba (Barabási–Albert,
+// -degree = attachments per vertex), ws (Watts–Strogatz, -degree = ring
+// degree, -p = rewire probability), highgirth, incidence, lowerbound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ftspanner/ftspanner/internal/gen"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ftgen", flag.ContinueOnError)
+	var (
+		typ     = fs.String("type", "gnm", "graph family (see command doc)")
+		n       = fs.Int("n", 100, "vertex count (or side/base size, family-specific)")
+		m       = fs.Int("m", 0, "edge count (gnm/cgnm; default 4n)")
+		n2      = fs.Int("n2", 0, "second size parameter (bipartite right side, grid cols)")
+		p       = fs.Float64("p", 0.1, "edge probability (gnp)")
+		radius  = fs.Float64("radius", 0.15, "connection radius (geometric)")
+		degree  = fs.Int("degree", 3, "degree (regular)")
+		q       = fs.Int("q", 5, "prime-power order (incidence)")
+		stretch = fs.Int("stretch", 3, "stretch k (highgirth girth bound = k+1, lowerbound)")
+		faults  = fs.Int("f", 2, "fault parameter (lowerbound blow-up factor ⌊f/2⌋)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		weights = fs.String("weights", "", "randomize weights to 'lo,hi' (e.g. 1,2)")
+		outPath = fs.String("out", "-", "output file (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	g, err := build(*typ, buildParams{
+		n: *n, m: *m, n2: *n2, p: *p, radius: *radius, degree: *degree,
+		q: *q, stretch: *stretch, faults: *faults,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	if *weights != "" {
+		lo, hi, err := parseRange(*weights)
+		if err != nil {
+			return err
+		}
+		g, err = gen.RandomizeWeights(g, lo, hi, rng)
+		if err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return g.Encode(w)
+}
+
+type buildParams struct {
+	n, m, n2, degree, q, stretch, faults int
+	p, radius                            float64
+}
+
+func build(typ string, bp buildParams, rng *rand.Rand) (*graph.Graph, error) {
+	n2 := bp.n2
+	if n2 == 0 {
+		n2 = bp.n
+	}
+	m := bp.m
+	if m == 0 {
+		m = 4 * bp.n
+	}
+	switch typ {
+	case "complete":
+		return gen.Complete(bp.n), nil
+	case "bipartite":
+		return gen.CompleteBipartite(bp.n, n2), nil
+	case "cycle":
+		return gen.Cycle(bp.n)
+	case "path":
+		return gen.Path(bp.n), nil
+	case "star":
+		return gen.Star(bp.n), nil
+	case "grid":
+		return gen.Grid(bp.n, n2), nil
+	case "hypercube":
+		return gen.Hypercube(bp.n)
+	case "petersen":
+		return gen.Petersen(), nil
+	case "gnp":
+		return gen.GNP(bp.n, bp.p, rng), nil
+	case "gnm":
+		return gen.GNM(bp.n, m, rng)
+	case "cgnm":
+		return gen.ConnectedGNM(bp.n, m, rng)
+	case "geometric":
+		g, _ := gen.RandomGeometric(bp.n, bp.radius, rng)
+		return g, nil
+	case "ba":
+		return gen.BarabasiAlbert(bp.n, bp.degree, rng)
+	case "ws":
+		return gen.WattsStrogatz(bp.n, bp.degree, bp.p, rng)
+	case "regular":
+		return gen.RandomRegular(bp.n, bp.degree, rng)
+	case "highgirth":
+		return gen.HighGirth(bp.n, bp.stretch+1, bp.m, rng), nil
+	case "incidence":
+		return gen.IncidenceBipartite(bp.q)
+	case "lowerbound":
+		return gen.BDPWLowerBound(bp.n, bp.stretch, bp.faults, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown graph type %q", typ)
+	}
+}
+
+func parseRange(s string) (lo, hi float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("weights must be 'lo,hi', got %q", s)
+	}
+	lo, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad weight lower bound: %w", err)
+	}
+	hi, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad weight upper bound: %w", err)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+func TestRunGeneratesAllTypes(t *testing.T) {
+	types := []struct {
+		args []string
+	}{
+		{args: []string{"-type", "complete", "-n", "6"}},
+		{args: []string{"-type", "bipartite", "-n", "3", "-n2", "4"}},
+		{args: []string{"-type", "cycle", "-n", "5"}},
+		{args: []string{"-type", "path", "-n", "5"}},
+		{args: []string{"-type", "star", "-n", "5"}},
+		{args: []string{"-type", "grid", "-n", "3", "-n2", "4"}},
+		{args: []string{"-type", "hypercube", "-n", "3"}},
+		{args: []string{"-type", "petersen"}},
+		{args: []string{"-type", "gnp", "-n", "20", "-p", "0.3"}},
+		{args: []string{"-type", "gnm", "-n", "20", "-m", "40"}},
+		{args: []string{"-type", "cgnm", "-n", "20", "-m", "40"}},
+		{args: []string{"-type", "geometric", "-n", "25", "-radius", "0.4"}},
+		{args: []string{"-type", "regular", "-n", "12", "-degree", "3"}},
+		{args: []string{"-type", "ba", "-n", "30", "-degree", "2"}},
+		{args: []string{"-type", "ws", "-n", "30", "-degree", "4", "-p", "0.2"}},
+		{args: []string{"-type", "highgirth", "-n", "20", "-stretch", "3"}},
+		{args: []string{"-type", "incidence", "-q", "3"}},
+		{args: []string{"-type", "lowerbound", "-n", "8", "-stretch", "3", "-f", "4"}},
+	}
+	for _, tt := range types {
+		name := strings.Join(tt.args, " ")
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+			g, err := graph.Decode(&buf)
+			if err != nil {
+				t.Fatalf("output does not decode: %v", err)
+			}
+			if g.NumVertices() == 0 {
+				t.Error("empty graph generated")
+			}
+		})
+	}
+}
+
+func TestRunWeights(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "complete", "-n", "5", "-weights", "2,3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.Weight < 2 || e.Weight >= 3 {
+			t.Errorf("weight %v outside [2,3)", e.Weight)
+		}
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.graph")
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "cycle", "-n", "4", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("file output should not write to stdout")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-type", "nope"},
+		{"-type", "cycle", "-n", "2"},
+		{"-type", "incidence", "-q", "6"},
+		{"-type", "complete", "-n", "4", "-weights", "bad"},
+		{"-type", "complete", "-n", "4", "-weights", "1"},
+		{"-type", "complete", "-n", "4", "-weights", "x,2"},
+		{"-type", "complete", "-n", "4", "-weights", "1,y"},
+		{"-type", "gnm", "-n", "4", "-m", "99"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	gen := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-type", "cgnm", "-n", "15", "-m", "30", "-seed", "9"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed must generate the same graph")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := parseRange(" 1.5 , 2.5 ")
+	if err != nil || lo != 1.5 || hi != 2.5 {
+		t.Errorf("parseRange = %v,%v,%v", lo, hi, err)
+	}
+}
+
+func TestBuildDefaultM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := build("cgnm", buildParams{n: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 40 {
+		t.Errorf("default m should be 4n=40, got %d", g.NumEdges())
+	}
+}

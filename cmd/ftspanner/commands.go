@@ -1,0 +1,336 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"github.com/ftspanner/ftspanner"
+	"github.com/ftspanner/ftspanner/internal/blocking"
+	"github.com/ftspanner/ftspanner/internal/girth"
+	"github.com/ftspanner/ftspanner/internal/sssp"
+	"github.com/ftspanner/ftspanner/internal/verify"
+)
+
+// loadGraph reads a graph file; "-" means stdin.
+func loadGraph(path string) (*ftspanner.Graph, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := ftspanner.DecodeGraph(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// saveGraph writes a graph file; "-" means stdout.
+func saveGraph(g *ftspanner.Graph, path string, out io.Writer) error {
+	if path == "-" {
+		return g.Encode(out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseMode(s string) (ftspanner.Mode, error) {
+	switch s {
+	case "vertex", "vft":
+		return ftspanner.VertexFaults, nil
+	case "edge", "eft":
+		return ftspanner.EdgeFaults, nil
+	default:
+		return 0, fmt.Errorf("unknown fault mode %q (want vertex or edge)", s)
+	}
+}
+
+func runBuild(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	var (
+		in           = fs.String("in", "-", "input graph file (- for stdin)")
+		outPath      = fs.String("out", "-", "output spanner file (- for stdout)")
+		stretch      = fs.Float64("stretch", 3, "stretch factor k >= 1")
+		faults       = fs.Int("f", 1, "fault tolerance parameter f >= 0")
+		mode         = fs.String("mode", "vertex", "fault mode: vertex or edge")
+		conservative = fs.Bool("conservative", false, "use the polynomial-time conservative greedy")
+		witnessPath  = fs.String("witnesses", "", "write kept-edge witness fault sets to this JSON file (exact greedy only)")
+		quiet        = fs.Bool("quiet", false, "suppress the summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	opts := ftspanner.Options{Stretch: *stretch, Faults: *faults, Mode: m}
+	var res *ftspanner.Result
+	if *conservative {
+		res, err = ftspanner.BuildConservative(g, opts)
+	} else {
+		res, err = ftspanner.Build(g, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if err := saveGraph(res.Spanner, *outPath, out); err != nil {
+		return err
+	}
+	if *witnessPath != "" {
+		if err := writeWitnesses(res, *witnessPath); err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		algo := "exact"
+		if *conservative {
+			algo = "conservative"
+		}
+		fmt.Fprintf(out, "# built %s-fault-tolerant %.3g-spanner (%s): kept %d of %d edges (%.1f%%), %d dijkstras, %s\n",
+			m, *stretch, algo, res.Spanner.NumEdges(), g.NumEdges(),
+			100*float64(res.Spanner.NumEdges())/float64(max(1, g.NumEdges())),
+			res.Stats.Dijkstras, res.Stats.Duration.Round(1e6))
+	}
+	return nil
+}
+
+// witnessRecord is one kept edge plus the fault set that forced it in.
+type witnessRecord struct {
+	EdgeID int     `json:"edgeId"`
+	U      int     `json:"u"`
+	V      int     `json:"v"`
+	Weight float64 `json:"weight"`
+	// Faults are vertex IDs (VFT) or input edge IDs (EFT); empty when the
+	// edge was needed even with no faults.
+	Faults []int `json:"faults"`
+}
+
+func writeWitnesses(res *ftspanner.Result, path string) error {
+	if res.Witness == nil {
+		return fmt.Errorf("the conservative greedy records no witnesses; drop -witnesses or -conservative")
+	}
+	records := make([]witnessRecord, 0, len(res.Kept))
+	for _, gid := range res.Kept {
+		e := res.Input.Edge(gid)
+		w := res.Witness[gid]
+		if w == nil {
+			w = []int{}
+		}
+		records = append(records, witnessRecord{
+			EdgeID: gid, U: e.U, V: e.V, Weight: e.Weight, Faults: w,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	var (
+		graphPath   = fs.String("graph", "", "original graph file (required)")
+		spannerPath = fs.String("spanner", "", "candidate spanner file (required)")
+		stretch     = fs.Float64("stretch", 3, "stretch factor to verify")
+		faults      = fs.Int("f", 1, "fault budget to verify")
+		mode        = fs.String("mode", "vertex", "fault mode: vertex or edge")
+		check       = fs.String("check", "random", "check kind: none, exhaustive, random, adversarial")
+		trials      = fs.Int("trials", 200, "trials for random/adversarial checks")
+		seed        = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *spannerPath == "" {
+		return fmt.Errorf("verify needs -graph and -spanner")
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	h, err := loadGraph(*spannerPath)
+	if err != nil {
+		return err
+	}
+	inst, err := instanceFromGraphs(g, h)
+	if err != nil {
+		return err
+	}
+
+	var verr error
+	switch *check {
+	case "none":
+		verr = inst.CheckFaultSet(*stretch, m, nil)
+	case "exhaustive":
+		verr = inst.ExhaustiveCheck(*stretch, m, *faults)
+	case "random":
+		verr = inst.RandomCheck(*stretch, m, *faults, *trials, rand.New(rand.NewSource(*seed)))
+	case "adversarial":
+		verr = inst.AdversarialCheck(*stretch, m, *faults, *trials, rand.New(rand.NewSource(*seed)))
+	default:
+		return fmt.Errorf("unknown check %q", *check)
+	}
+	if verr != nil {
+		return fmt.Errorf("verification FAILED: %w", verr)
+	}
+	fmt.Fprintf(out, "OK: spanner passes %s %s-fault check (stretch %.3g, f=%d)\n", *check, m, *stretch, *faults)
+	return nil
+}
+
+// instanceFromGraphs reconstructs the spanner->graph edge mapping by
+// endpoint lookup (spanner files store no IDs; endpoints and weights must
+// match an input edge).
+func instanceFromGraphs(g, h *ftspanner.Graph) (*verify.Instance, error) {
+	mapping := make([]int, h.NumEdges())
+	for _, he := range h.Edges() {
+		ge, ok := g.EdgeBetween(he.U, he.V)
+		if !ok {
+			return nil, fmt.Errorf("spanner edge (%d,%d) is not in the graph", he.U, he.V)
+		}
+		if ge.Weight != he.Weight {
+			return nil, fmt.Errorf("spanner edge (%d,%d) weight %v differs from graph weight %v",
+				he.U, he.V, he.Weight, ge.Weight)
+		}
+		mapping[he.ID] = ge.ID
+	}
+	return verify.NewInstance(g, h, mapping)
+}
+
+func runStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "-", "input graph file (- for stdin)")
+		maxCycle = fs.Int("girth-limit", 12, "report girth only if at most this (0 = exact, may be slow)")
+		metrics  = fs.Bool("metrics", false, "also compute weighted diameter and radius (O(n) Dijkstras)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	_, comps := g.ConnectedComponents()
+	fmt.Fprintf(out, "vertices:    %d\n", g.NumVertices())
+	fmt.Fprintf(out, "edges:       %d\n", g.NumEdges())
+	fmt.Fprintf(out, "components:  %d\n", comps)
+	fmt.Fprintf(out, "max degree:  %d\n", g.MaxDegree())
+	fmt.Fprintf(out, "total weight: %.6g\n", g.TotalWeight())
+	switch {
+	case *maxCycle == 0:
+		fmt.Fprintf(out, "girth:       %s\n", girthString(girth.Girth(g)))
+	case girth.HasCycleAtMost(g, *maxCycle):
+		fmt.Fprintf(out, "girth:       %s\n", girthString(girth.Girth(g)))
+	default:
+		fmt.Fprintf(out, "girth:       > %d\n", *maxCycle)
+	}
+	if *metrics {
+		fmt.Fprintf(out, "diameter:    %.6g\n", sssp.Diameter(g))
+		fmt.Fprintf(out, "radius:      %.6g\n", sssp.Radius(g))
+	}
+	return nil
+}
+
+func girthString(v int) string {
+	if v == girth.Acyclic {
+		return "infinite (forest)"
+	}
+	return fmt.Sprint(v)
+}
+
+func runBlocking(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("blocking", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "-", "input graph file (- for stdin)")
+		stretch = fs.Int("stretch", 3, "integer stretch factor")
+		faults  = fs.Int("f", 1, "fault tolerance parameter")
+		mode    = fs.String("mode", "vertex", "fault mode: vertex or edge")
+		check   = fs.Bool("check", true, "verify the blocking set by cycle enumeration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	res, err := ftspanner.Build(g, ftspanner.Options{Stretch: float64(*stretch), Faults: *faults, Mode: m})
+	if err != nil {
+		return err
+	}
+	budget := *faults * res.Spanner.NumEdges()
+	var (
+		size     int
+		checkErr error
+	)
+	if m == ftspanner.VertexFaults {
+		pairs, err := ftspanner.BlockingSet(res)
+		if err != nil {
+			return err
+		}
+		size = len(pairs)
+		if *check {
+			checkErr = blocking.VerifyVertexBlocking(res.Spanner, pairs, *stretch+1)
+		}
+	} else {
+		pairs, err := ftspanner.EdgeBlockingSet(res)
+		if err != nil {
+			return err
+		}
+		size = len(pairs)
+		if *check {
+			checkErr = blocking.VerifyEdgeBlocking(res.Spanner, pairs, *stretch+1)
+		}
+	}
+	fmt.Fprintf(out, "spanner edges: %d\n", res.Spanner.NumEdges())
+	fmt.Fprintf(out, "blocking set:  %d pairs (budget f·|E(H)| = %d)\n", size, budget)
+	if *check {
+		if checkErr != nil {
+			return fmt.Errorf("blocking set INVALID: %w", checkErr)
+		}
+		fmt.Fprintf(out, "validity:      verified as a %d-blocking set\n", *stretch+1)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

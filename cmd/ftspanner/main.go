@@ -1,0 +1,41 @@
+// Command ftspanner builds, verifies and inspects fault-tolerant spanners
+// over graph files in the library's text format.
+//
+// Usage:
+//
+//	ftspanner build    -in G.graph -out H.graph -stretch 3 -f 2 -mode vertex
+//	ftspanner verify   -graph G.graph -spanner H.graph -stretch 3 -f 2 -mode vertex -check random -trials 200
+//	ftspanner stats    -in G.graph
+//	ftspanner blocking -in G.graph -stretch 3 -f 2 -mode vertex
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftspanner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ftspanner <build|verify|stats|blocking> [flags] (see -h per subcommand)")
+	}
+	switch args[0] {
+	case "build":
+		return runBuild(args[1:], out)
+	case "verify":
+		return runVerify(args[1:], out)
+	case "stats":
+		return runStats(args[1:], out)
+	case "blocking":
+		return runBlocking(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want build, verify, stats or blocking)", args[0])
+	}
+}

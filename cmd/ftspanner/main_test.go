@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ftspanner/ftspanner"
+)
+
+// writeTestGraph writes a graph file and returns its path.
+func writeTestGraph(t *testing.T, g *ftspanner.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.graph")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args should fail with usage")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+}
+
+func TestBuildVerifyPipeline(t *testing.T) {
+	g := ftspanner.CompleteGraph(10)
+	in := writeTestGraph(t, g)
+	outPath := filepath.Join(t.TempDir(), "h.graph")
+
+	var buf bytes.Buffer
+	err := run([]string{"build", "-in", in, "-out", outPath,
+		"-stretch", "3", "-f", "2", "-mode", "vertex"}, &buf)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if !strings.Contains(buf.String(), "built vertex-fault-tolerant") {
+		t.Errorf("missing summary: %q", buf.String())
+	}
+
+	buf.Reset()
+	err = run([]string{"verify", "-graph", in, "-spanner", outPath,
+		"-stretch", "3", "-f", "2", "-mode", "vertex", "-check", "exhaustive"}, &buf)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(buf.String(), "OK") {
+		t.Errorf("verify output: %q", buf.String())
+	}
+
+	// Random and adversarial checks also pass.
+	for _, check := range []string{"none", "random", "adversarial"} {
+		buf.Reset()
+		err = run([]string{"verify", "-graph", in, "-spanner", outPath,
+			"-stretch", "3", "-f", "2", "-check", check, "-trials", "20"}, &buf)
+		if err != nil {
+			t.Errorf("verify -check %s: %v", check, err)
+		}
+	}
+}
+
+func TestVerifyCatchesBadSpanner(t *testing.T) {
+	// Spanner = spanning star of K6 has stretch 2; claim stretch 3 with
+	// f=1: faulting the hub disconnects everything -> must fail.
+	g := ftspanner.CompleteGraph(6)
+	h := ftspanner.NewGraph(6)
+	for v := 1; v < 6; v++ {
+		h.MustAddEdge(0, v, 1)
+	}
+	gPath := writeTestGraph(t, g)
+	hPath := writeTestGraph(t, h)
+	var buf bytes.Buffer
+	err := run([]string{"verify", "-graph", gPath, "-spanner", hPath,
+		"-stretch", "3", "-f", "1", "-mode", "vertex", "-check", "exhaustive"}, &buf)
+	if err == nil {
+		t.Error("hub-fault violation should be detected")
+	}
+}
+
+func TestVerifyRejectsForeignSpanner(t *testing.T) {
+	g := ftspanner.CompleteGraph(5)
+	h := ftspanner.NewGraph(5)
+	h.MustAddEdge(0, 1, 99) // weight mismatch with G
+	gPath := writeTestGraph(t, g)
+	hPath := writeTestGraph(t, h)
+	var buf bytes.Buffer
+	err := run([]string{"verify", "-graph", gPath, "-spanner", hPath}, &buf)
+	if err == nil {
+		t.Error("weight mismatch should be rejected")
+	}
+
+	h2 := ftspanner.NewGraph(5)
+	h2.MustAddEdge(0, 1, 1)
+	// Remove edge (0,1) from G so the spanner has a foreign edge.
+	g2 := ftspanner.NewGraph(5)
+	g2.MustAddEdge(2, 3, 1)
+	err = run([]string{"verify", "-graph", writeTestGraph(t, g2),
+		"-spanner", writeTestGraph(t, h2)}, &buf)
+	if err == nil {
+		t.Error("foreign spanner edge should be rejected")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := ftspanner.GridGraph(3, 3)
+	in := writeTestGraph(t, g)
+	var buf bytes.Buffer
+	if err := run([]string{"stats", "-in", in}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"vertices:    9", "edges:       12", "components:  1", "girth:       4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	// Forest reports infinite girth.
+	buf.Reset()
+	tree := ftspanner.NewGraph(3)
+	tree.MustAddEdge(0, 1, 1)
+	if err := run([]string{"stats", "-in", writeTestGraph(t, tree), "-girth-limit", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "infinite") {
+		t.Errorf("forest girth not reported: %s", buf.String())
+	}
+	// girth-limit cuts off the exact computation.
+	buf.Reset()
+	big, _ := ftspanner.RandomGraph(30, 35, 4)
+	if err := run([]string{"stats", "-in", writeTestGraph(t, big), "-girth-limit", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "girth:") {
+		t.Error("girth line missing")
+	}
+}
+
+func TestBlockingSubcommand(t *testing.T) {
+	g, err := ftspanner.RandomGraph(14, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := writeTestGraph(t, g)
+	for _, mode := range []string{"vertex", "edge"} {
+		var buf bytes.Buffer
+		err := run([]string{"blocking", "-in", in, "-stretch", "3", "-f", "2", "-mode", mode}, &buf)
+		if err != nil {
+			t.Fatalf("blocking %s: %v", mode, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "blocking set:") || !strings.Contains(out, "verified") {
+			t.Errorf("blocking %s output:\n%s", mode, out)
+		}
+	}
+}
+
+func TestBuildConservativeAndWitnesses(t *testing.T) {
+	g := ftspanner.CompleteGraph(9)
+	in := writeTestGraph(t, g)
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "h.graph")
+	witPath := filepath.Join(dir, "w.json")
+
+	var buf bytes.Buffer
+	err := run([]string{"build", "-in", in, "-out", outPath,
+		"-stretch", "3", "-f", "2", "-witnesses", witPath}, &buf)
+	if err != nil {
+		t.Fatalf("build with witnesses: %v", err)
+	}
+	data, err := os.ReadFile(witPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []struct {
+		EdgeID int     `json:"edgeId"`
+		U      int     `json:"u"`
+		V      int     `json:"v"`
+		Weight float64 `json:"weight"`
+		Faults []int   `json:"faults"`
+	}
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("witness JSON: %v", err)
+	}
+	if len(records) == 0 {
+		t.Error("no witness records written")
+	}
+	for _, r := range records {
+		if r.Faults == nil {
+			t.Error("faults must encode as [] not null")
+		}
+	}
+
+	// Conservative build works, but refuses to fabricate witnesses.
+	buf.Reset()
+	err = run([]string{"build", "-in", in, "-out", outPath, "-conservative",
+		"-stretch", "3", "-f", "2"}, &buf)
+	if err != nil {
+		t.Fatalf("conservative build: %v", err)
+	}
+	if !strings.Contains(buf.String(), "(conservative)") {
+		t.Errorf("summary should mention the algorithm: %q", buf.String())
+	}
+	err = run([]string{"build", "-in", in, "-out", outPath, "-conservative",
+		"-witnesses", witPath}, &buf)
+	if err == nil {
+		t.Error("conservative + witnesses should fail")
+	}
+}
+
+func TestStatsMetrics(t *testing.T) {
+	g := ftspanner.GridGraph(3, 3)
+	in := writeTestGraph(t, g)
+	var buf bytes.Buffer
+	if err := run([]string{"stats", "-in", in, "-metrics"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "diameter:    4") || !strings.Contains(out, "radius:      2") {
+		t.Errorf("metrics missing or wrong:\n%s", out)
+	}
+}
+
+func TestParseModeErrors(t *testing.T) {
+	if _, err := parseMode("both"); err == nil {
+		t.Error("bad mode should error")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"build", "-mode", "both"}, &buf); err == nil {
+		t.Error("build with bad mode should fail")
+	}
+	if err := run([]string{"verify"}, &buf); err == nil {
+		t.Error("verify without files should fail")
+	}
+	if err := run([]string{"verify", "-graph", "x", "-spanner", "y", "-check", "nope"}, &buf); err == nil {
+		t.Error("verify of missing files should fail")
+	}
+	if err := run([]string{"stats", "-in", "/nonexistent/file"}, &buf); err == nil {
+		t.Error("missing input should fail")
+	}
+}

@@ -1,0 +1,57 @@
+package ftspanner_test
+
+import (
+	"fmt"
+
+	"github.com/ftspanner/ftspanner"
+)
+
+// Example builds a fault-tolerant spanner of a small complete graph and
+// verifies the guarantee exhaustively.
+func Example() {
+	g := ftspanner.CompleteGraph(10)
+	res, err := ftspanner.BuildVFT(g, 3, 1) // 1-vertex-fault-tolerant 3-spanner
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("input edges:", g.NumEdges())
+	fmt.Println("spanner edges:", res.Spanner.NumEdges())
+	fmt.Println("tolerates any single failure:", ftspanner.CheckAllFaults(res) == nil)
+	// Output:
+	// input edges: 45
+	// spanner edges: 17
+	// tolerates any single failure: true
+}
+
+// ExampleBlockingSet extracts the paper's Lemma 3 blocking set from a run.
+func ExampleBlockingSet() {
+	g := ftspanner.CompleteGraph(8)
+	res, err := ftspanner.BuildVFT(g, 3, 2)
+	if err != nil {
+		panic(err)
+	}
+	pairs, err := ftspanner.BlockingSet(res)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("|B| <= f*|E(H)|:", len(pairs) <= res.Faults*res.Spanner.NumEdges())
+	// Output:
+	// |B| <= f*|E(H)|: true
+}
+
+// ExampleWorstStretch measures the exact surviving stretch under a
+// specific failure scenario.
+func ExampleWorstStretch() {
+	g := ftspanner.CompleteGraph(9)
+	res, err := ftspanner.BuildVFT(g, 3, 2)
+	if err != nil {
+		panic(err)
+	}
+	s, err := ftspanner.WorstStretch(res, []int{2, 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("worst stretch with vertices {2,5} down: %.0f (guarantee 3)\n", s)
+	// Output:
+	// worst stretch with vertices {2,5} down: 2 (guarantee 3)
+}

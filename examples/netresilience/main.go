@@ -1,0 +1,111 @@
+// Network resilience: a wireless sensor network in the unit square keeps
+// only a sparse backbone of its links (a spanner) to save energy. Nodes
+// fail. This example shows that the plain greedy backbone breaks under node
+// failures while the vertex-fault-tolerant backbone keeps every surviving
+// route within its stretch guarantee — the paper's motivating scenario
+// ("spanners are often applied to systems whose parts are prone to sporadic
+// failures").
+//
+// Run with: go run ./examples/netresilience
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/ftspanner/ftspanner"
+)
+
+const (
+	numSensors = 140
+	radioRange = 0.18
+	stretch    = 3.0
+	maxFailed  = 3
+	seed       = 2026
+	trials     = 400
+)
+
+func main() {
+	g, pts := ftspanner.RandomGeometricGraph(numSensors, radioRange, seed)
+	fmt.Printf("sensor network: %d nodes, %d radio links in range %.2f\n",
+		g.NumVertices(), g.NumEdges(), radioRange)
+
+	// Two backbones: plain greedy (f=0) and fault-tolerant greedy (f=3).
+	plain, err := ftspanner.BuildVFT(g, stretch, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	robust, err := ftspanner.BuildVFT(g, stretch, maxFailed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain backbone:  %d links (%.0f%%)\n", plain.Spanner.NumEdges(),
+		100*float64(plain.Spanner.NumEdges())/float64(g.NumEdges()))
+	fmt.Printf("robust backbone: %d links (%.0f%%), tolerates %d node failures\n",
+		robust.Spanner.NumEdges(),
+		100*float64(robust.Spanner.NumEdges())/float64(g.NumEdges()), maxFailed)
+
+	// Failure drill: random sets of up to maxFailed sensors die; measure
+	// the worst stretch each backbone still provides for surviving links.
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		plainWorst, robustWorst   float64
+		plainBroken, robustBroken int
+	)
+	for trial := 0; trial < trials; trial++ {
+		failed := rng.Perm(numSensors)[:1+rng.Intn(maxFailed)]
+		s, err := ftspanner.WorstStretch(plain, failed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if math.IsInf(s, 1) || s > stretch+1e-9 {
+			plainBroken++
+		}
+		if s > plainWorst {
+			plainWorst = s
+		}
+		s, err = ftspanner.WorstStretch(robust, failed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if math.IsInf(s, 1) || s > stretch+1e-9 {
+			robustBroken++
+		}
+		if s > robustWorst {
+			robustWorst = s
+		}
+	}
+	fmt.Printf("\nfailure drill (%d random failure scenarios, up to %d nodes each):\n", trials, maxFailed)
+	fmt.Printf("  plain backbone:  broken in %d scenarios, worst stretch %s\n",
+		plainBroken, stretchString(plainWorst))
+	fmt.Printf("  robust backbone: broken in %d scenarios, worst stretch %s\n",
+		robustBroken, stretchString(robustWorst))
+
+	// Which sensors does the robust backbone lean on most? (Highest degree
+	// in H — the hubs whose loss the extra edges insure against.)
+	type hub struct{ node, degree int }
+	hubs := make([]hub, 0, numSensors)
+	for v := 0; v < numSensors; v++ {
+		hubs = append(hubs, hub{node: v, degree: robust.Spanner.Degree(v)})
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i].degree > hubs[j].degree })
+	fmt.Println("\nbusiest backbone nodes (node: backbone-degree, position):")
+	for _, h := range hubs[:5] {
+		fmt.Printf("  %3d: %2d links at (%.2f, %.2f)\n", h.node, h.degree, pts[h.node].X, pts[h.node].Y)
+	}
+
+	if robustBroken > 0 {
+		log.Fatal("robust backbone violated its guarantee — this should be impossible")
+	}
+	fmt.Println("\nthe robust backbone never exceeded its guarantee; the plain one did.")
+}
+
+func stretchString(s float64) string {
+	if math.IsInf(s, 1) {
+		return "INF (disconnected)"
+	}
+	return fmt.Sprintf("%.2f", s)
+}

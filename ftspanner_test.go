@@ -1,0 +1,206 @@
+package ftspanner_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ftspanner/ftspanner"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := ftspanner.CompleteGraph(9)
+	res, err := ftspanner.BuildVFT(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spanner.NumEdges() == 0 || res.Spanner.NumEdges() > g.NumEdges() {
+		t.Fatalf("implausible spanner size %d", res.Spanner.NumEdges())
+	}
+	if err := ftspanner.CheckAllFaults(res); err != nil {
+		t.Errorf("exhaustive check: %v", err)
+	}
+	if err := ftspanner.CheckAllFaultsParallel(res, 4); err != nil {
+		t.Errorf("parallel exhaustive check: %v", err)
+	}
+	if err := ftspanner.CheckFaults(res, []int{0, 1}); err != nil {
+		t.Errorf("specific fault set: %v", err)
+	}
+	s, err := ftspanner.WorstStretch(res, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 3 {
+		t.Errorf("worst stretch %v > 3", s)
+	}
+}
+
+func TestFacadeEFTAndEdgeBlocking(t *testing.T) {
+	g, err := ftspanner.RandomGraph(20, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ftspanner.BuildEFT(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ftspanner.CheckRandomFaults(res, 30, 2); err != nil {
+		t.Errorf("random check: %v", err)
+	}
+	pairs, err := ftspanner.EdgeBlockingSet(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) > res.Faults*res.Spanner.NumEdges() {
+		t.Error("edge blocking set over budget")
+	}
+	if _, err := ftspanner.BlockingSet(res); err == nil {
+		t.Error("vertex blocking set on EFT result should error")
+	}
+}
+
+func TestFacadeBlockingAndSubsample(t *testing.T) {
+	g, err := ftspanner.RandomGraph(40, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ftspanner.BuildVFT(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ftspanner.BlockingSet(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, stats, err := ftspanner.Subsample(res.Spanner, pairs, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Girth <= 4 {
+		t.Errorf("subsample girth %d, want > 4", stats.Girth)
+	}
+	if sub.NumVertices() != stats.Nodes {
+		t.Error("stats disagree with returned graph")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if g := ftspanner.GridGraph(3, 3); g.NumVertices() != 9 || g.NumEdges() != 12 {
+		t.Error("grid generator wrong")
+	}
+	geo, pts := ftspanner.RandomGeometricGraph(30, 0.4, 5)
+	if geo.NumVertices() != 30 || len(pts) != 30 {
+		t.Error("geometric generator wrong")
+	}
+	w, err := ftspanner.RandomizeWeights(ftspanner.CompleteGraph(5), 1, 2, 6)
+	if err != nil || w.NumEdges() != 10 {
+		t.Error("randomize weights wrong")
+	}
+	lb := ftspanner.LowerBoundGraph(10, 3, 4, 7)
+	if lb.NumVertices() != 20 { // 10 base vertices × 2 copies
+		t.Errorf("lower-bound graph n = %d, want 20", lb.NumVertices())
+	}
+}
+
+func TestFacadeViolationSurfaces(t *testing.T) {
+	// Build with f=1 and then check a 2-fault set that disconnects: the
+	// violation must surface as *ftspanner.Violation.
+	g := ftspanner.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	res, err := ftspanner.BuildVFT(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ftspanner.CheckFaults(res, []int{1, 3})
+	if err == nil {
+		t.Skip("C4 tolerates this fault set at stretch 3 with all edges kept")
+	}
+	var viol *ftspanner.Violation
+	if !errors.As(err, &viol) {
+		t.Errorf("want *Violation, got %T: %v", err, err)
+	}
+}
+
+func TestFacadeEncodeDecodeRoundTrip(t *testing.T) {
+	g, _ := ftspanner.RandomGeometricGraph(15, 0.5, 8)
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ftspanner.DecodeGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() || got.NumVertices() != g.NumVertices() {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestFacadeConservativeAndParallel(t *testing.T) {
+	g, err := ftspanner.RandomGraph(25, 150, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ftspanner.BuildVFT(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := ftspanner.BuildConservative(g, ftspanner.Options{
+		Stretch: 3, Faults: 2, Mode: ftspanner.VertexFaults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Spanner.NumEdges() < exact.Spanner.NumEdges() {
+		t.Error("conservative output smaller than exact")
+	}
+	if err := ftspanner.CheckRandomFaultsParallel(cons, 60, 4, 9); err != nil {
+		t.Errorf("parallel check: %v", err)
+	}
+	if err := ftspanner.CheckRandomFaultsParallel(exact, 60, 0, 9); err != nil {
+		t.Errorf("parallel check (exact): %v", err)
+	}
+	if _, err := ftspanner.BlockingSet(cons); err == nil {
+		t.Error("blocking set on conservative result should error (no witnesses)")
+	}
+	// Baseline builders through the facade.
+	uni, err := ftspanner.BuildUnionEFT(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samp, err := ftspanner.BuildSamplingVFT(g, 2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range []*ftspanner.BaselineResult{uni, samp} {
+		if _, err := ftspanner.NewVerifierFor(g, br.Spanner, br.Kept); err != nil {
+			t.Errorf("baseline verifier: %v", err)
+		}
+	}
+}
+
+func TestFacadeBuildOptions(t *testing.T) {
+	g := ftspanner.CompleteGraph(7)
+	res, err := ftspanner.Build(g, ftspanner.Options{
+		Stretch: 3,
+		Faults:  1,
+		Mode:    ftspanner.EdgeFaults,
+		Oracle:  ftspanner.OracleOptions{DisableMemo: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ftspanner.EdgeFaults {
+		t.Error("mode not echoed")
+	}
+	if res.Stats.Dijkstras <= 0 {
+		t.Error("stats missing")
+	}
+	if math.IsNaN(res.Stretch) || res.Stretch != 3 {
+		t.Error("stretch not echoed")
+	}
+}

@@ -1,0 +1,134 @@
+// End-to-end integration tests crossing every layer of the repository:
+// generators -> builders -> serialization -> verification -> proof
+// machinery, on workload families the unit tests do not combine.
+package ftspanner_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/ftspanner/ftspanner"
+	"github.com/ftspanner/ftspanner/internal/blocking"
+	"github.com/ftspanner/ftspanner/internal/core"
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/gen"
+	"github.com/ftspanner/ftspanner/internal/mst"
+	"github.com/ftspanner/ftspanner/internal/verify"
+)
+
+// TestSoakPipeline drives the full pipeline over a matrix of workload
+// families, modes and parameters. Bounded to stay a few seconds; run with
+// -short to skip.
+func TestSoakPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+	workloads := []struct {
+		name  string
+		build func() *ftspanner.Graph
+	}{
+		{name: "gnm", build: func() *ftspanner.Graph {
+			g, err := gen.ConnectedGNM(40, 300, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := gen.RandomizeWeights(g, 1, 2, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return w
+		}},
+		{name: "geometric", build: func() *ftspanner.Graph {
+			g, _ := gen.RandomGeometric(45, 0.35, rng)
+			return g
+		}},
+		{name: "barabasi-albert", build: func() *ftspanner.Graph {
+			g, err := gen.BarabasiAlbert(40, 3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{name: "watts-strogatz", build: func() *ftspanner.Graph {
+			g, err := gen.WattsStrogatz(40, 6, 0.2, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{name: "hypercube", build: func() *ftspanner.Graph {
+			g, err := gen.Hypercube(6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			g := w.build()
+			for _, mode := range []ftspanner.Mode{ftspanner.VertexFaults, ftspanner.EdgeFaults} {
+				for _, f := range []int{1, 2} {
+					res, err := ftspanner.Build(g, ftspanner.Options{Stretch: 3, Faults: f, Mode: mode})
+					if err != nil {
+						t.Fatalf("%v f=%d: %v", mode, f, err)
+					}
+					// Serialization round trip of the spanner.
+					var buf bytes.Buffer
+					if err := res.Spanner.Encode(&buf); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := ftspanner.DecodeGraph(&buf); err != nil {
+						t.Fatal(err)
+					}
+					// Parallel randomized verification.
+					if err := ftspanner.CheckRandomFaultsParallel(res, 40, 4, 5); err != nil {
+						t.Errorf("%s %v f=%d: %v", w.name, mode, f, err)
+					}
+					// Proof machinery on VFT runs.
+					if mode == ftspanner.VertexFaults {
+						pairs, err := ftspanner.BlockingSet(res)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(pairs) > f*res.Spanner.NumEdges() {
+							t.Errorf("%s f=%d: blocking set over budget", w.name, f)
+						}
+						if err := blocking.VerifyVertexBlocking(res.Spanner, pairs, 4); err != nil {
+							t.Errorf("%s f=%d: %v", w.name, f, err)
+						}
+					}
+					// MSF containment.
+					msf, _ := mst.Kruskal(g)
+					for _, id := range msf {
+						if !res.KeptSet.Contains(id) {
+							t.Errorf("%s %v f=%d: MSF edge %d missing from spanner", w.name, mode, f, id)
+						}
+					}
+					// Conservative variant agrees on correctness.
+					cons, err := core.GreedyConservative(g, core.Options{Stretch: 3, Faults: f, Mode: faultMode(mode)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					inst, err := verify.NewInstance(g, cons.Spanner, cons.Kept)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := inst.RandomCheck(3, faultMode(mode), f, 30, rng); err != nil {
+						t.Errorf("%s %v f=%d conservative: %v", w.name, mode, f, err)
+					}
+					if cons.Spanner.NumEdges() < res.Spanner.NumEdges() {
+						t.Errorf("%s %v f=%d: conservative smaller than exact", w.name, mode, f)
+					}
+				}
+			}
+		})
+	}
+}
+
+// faultMode converts the facade alias to the internal type (they are the
+// same type; this keeps the call sites explicit).
+func faultMode(m ftspanner.Mode) fault.Mode { return m }

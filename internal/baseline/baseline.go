@@ -1,0 +1,181 @@
+// Package baseline implements the comparators the paper positions itself
+// against in experiment E3: the trivial spanner H = G, the provably correct
+// union construction for edge faults, and a sampling construction for
+// vertex faults in the spirit of Dinitz–Krauthgamer (PODC 2011, reference
+// [16] of the paper) — polynomial in f where the exact greedy is
+// exponential, at the price of larger output.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/spanner"
+)
+
+// Result mirrors spanner.Result: the built subgraph plus the input edge IDs
+// it keeps (spanner edge i corresponds to input edge Kept[i]).
+type Result struct {
+	Spanner *graph.Graph
+	Kept    []int
+}
+
+// Trivial returns H = G, the only baseline with f = ∞: every fault set is
+// tolerated at stretch 1, at full size. It anchors the size comparisons.
+func Trivial(g *graph.Graph) *Result {
+	h := graph.New(g.NumVertices())
+	kept := make([]int, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		h.MustAddEdge(e.U, e.V, e.Weight)
+		kept = append(kept, e.ID)
+	}
+	return &Result{Spanner: h, Kept: kept}
+}
+
+// UnionEFT builds an f-EFT t-spanner as the union of f+1 edge-disjoint
+// t-spanners: H_1 spans G, H_2 spans G minus H_1's edges, and so on.
+//
+// Correctness: a surviving edge (u,v) of G\F is either in some H_i (and
+// survives into H\F), or it survived into every residual graph G_i, so each
+// H_i contains a u-v detour of weight <= t·w. The f+1 detours are pairwise
+// edge-disjoint, and |F| <= f, so one of them avoids F entirely. This
+// argument is vertex-fault-UNSOUND (the detours share endpoints' neighbors),
+// which is exactly why the VFT problem needs the paper's machinery.
+func UnionEFT(g *graph.Graph, t float64, f int) (*Result, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("baseline: union needs f >= 0, got %d", f)
+	}
+	res := &Result{Spanner: graph.New(g.NumVertices())}
+	inSpanner := make([]bool, g.NumEdges())
+
+	residual := g
+	residualToG := identity(g.NumEdges())
+	for round := 0; round <= f; round++ {
+		sub, err := spanner.Greedy(residual, t)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Spanner.NumEdges() == 0 {
+			break // residual graph exhausted
+		}
+		for _, rid := range sub.Kept {
+			gid := residualToG[rid]
+			if !inSpanner[gid] {
+				inSpanner[gid] = true
+				e := g.Edge(gid)
+				res.Spanner.MustAddEdge(e.U, e.V, e.Weight)
+				res.Kept = append(res.Kept, gid)
+			}
+		}
+		if round == f {
+			break
+		}
+		next, m := residual.FilterEdges(func(e graph.Edge) bool {
+			return !inSpanner[residualToG[e.ID]]
+		})
+		nextToG := make([]int, len(m.EdgeTo))
+		for newID, oldID := range m.EdgeTo {
+			nextToG[newID] = residualToG[oldID]
+		}
+		residual, residualToG = next, nextToG
+	}
+	return res, nil
+}
+
+// SamplingVFTOptions tunes SamplingVFT.
+type SamplingVFTOptions struct {
+	// Samples overrides the number of sampled subgraphs. Zero selects the
+	// practical default Θ(f²·ln n); set Provable to scale it by the extra
+	// factor Θ(f·ln n) that a full union bound over all C(n,f) fault sets
+	// requires.
+	Samples int
+	// Provable selects the union-bound sample count (much larger output).
+	Provable bool
+}
+
+// SamplingVFT builds an f-VFT (2k-1)-spanner in the Dinitz–Krauthgamer
+// style: repeatedly sample a random vertex subset that each vertex joins
+// with probability 1/(f+1), build a Baswana–Sen (2k-1)-spanner of the
+// induced subgraph, and return the union.
+//
+// Why it works: fix a fault set F (|F| <= f) and a surviving edge (u,v). A
+// sample is "good" for them if u and v are in it and all of F is not, which
+// happens with probability p²(1-p)^f = Θ(1/f²) at p = 1/(f+1) (the edge
+// (u,v) is then inside the sampled subgraph, so its spanner keeps a detour
+// avoiding F). With Θ(f²·log n) samples every (edge, fault-set) pair seen
+// in practice is covered; covering all n^f fault sets provably (whp) needs
+// the extra Θ(f·log n) factor of the Provable option. Either way the
+// construction is polynomial in f — the runtime foil for experiment E7.
+func SamplingVFT(g *graph.Graph, k, f int, opts SamplingVFTOptions, rng *rand.Rand) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: sampling needs k >= 1, got %d", k)
+	}
+	if f < 0 {
+		return nil, fmt.Errorf("baseline: sampling needs f >= 0, got %d", f)
+	}
+	n := g.NumVertices()
+	if f == 0 {
+		// No faults: one spanner of the whole graph.
+		bs, err := spanner.BaswanaSen(g, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Spanner: bs.Spanner, Kept: bs.Kept}, nil
+	}
+
+	samples := opts.Samples
+	if samples <= 0 {
+		logN := math.Log(float64(n) + 1)
+		samples = int(math.Ceil(3 * float64(f*f) * logN))
+		if opts.Provable {
+			samples = int(math.Ceil(float64(samples) * float64(f) * logN))
+		}
+		if samples < 1 {
+			samples = 1
+		}
+	}
+
+	res := &Result{Spanner: graph.New(n)}
+	inSpanner := make([]bool, g.NumEdges())
+	p := 1.0 / float64(f+1)
+	var members []int
+	for s := 0; s < samples; s++ {
+		members = members[:0]
+		for v := 0; v < n; v++ {
+			if rng.Float64() < p {
+				members = append(members, v)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		sub, m, err := g.InducedSubgraph(members)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := spanner.BaswanaSen(sub, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, sid := range bs.Kept {
+			gid := m.EdgeTo[sid]
+			if !inSpanner[gid] {
+				inSpanner[gid] = true
+				e := g.Edge(gid)
+				res.Spanner.MustAddEdge(e.U, e.V, e.Weight)
+				res.Kept = append(res.Kept, gid)
+			}
+		}
+	}
+	return res, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

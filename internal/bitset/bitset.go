@@ -1,0 +1,183 @@
+// Package bitset provides a compact, allocation-friendly set of small
+// non-negative integers. It is used throughout the library for vertex and
+// edge fault masks, where the same set is mutated and rolled back many times
+// inside tight search loops.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over the universe [0, Cap()).
+// The zero value is an empty set of capacity zero; use New to size it.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set able to hold elements in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// FromSlice returns a set of capacity n containing the given elements.
+// Elements outside [0, n) are ignored.
+func FromSlice(n int, elems []int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		if e >= 0 && e < n {
+			s.Add(e)
+		}
+	}
+	return s
+}
+
+// Cap returns the capacity (universe size) of the set.
+func (s *Set) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Add inserts i into the set. It panics if i is out of range, since that
+// always indicates a programming error in this codebase.
+func (s *Set) Add(i int) {
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set. A nil set contains nothing, which
+// lets callers pass nil for "no forbidden elements".
+func (s *Set) Contains(i int) bool {
+	if s == nil {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	if s == nil {
+		return 0
+	}
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the set. Cloning nil yields nil.
+func (s *Set) Clone() *Set {
+	if s == nil {
+		return nil
+	}
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites the receiver with the contents of other, which must
+// have the same capacity.
+func (s *Set) CopyFrom(other *Set) {
+	if other == nil {
+		s.Clear()
+		return
+	}
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: CopyFrom capacity mismatch %d != %d", s.n, other.n))
+	}
+	copy(s.words, other.words)
+}
+
+// UnionWith adds every element of other to the receiver. Capacities must
+// match; a nil other is a no-op.
+func (s *Set) UnionWith(other *Set) {
+	if other == nil {
+		return
+	}
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: UnionWith capacity mismatch %d != %d", s.n, other.n))
+	}
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// IntersectsWith reports whether the receiver and other share an element.
+func (s *Set) IntersectsWith(other *Set) bool {
+	if s == nil || other == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems appends the elements of the set, in increasing order, to dst and
+// returns the extended slice.
+func (s *Set) Elems(dst []int) []int {
+	if s == nil {
+		return dst
+	}
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// String renders the set as "{a, b, c}" for debugging.
+func (s *Set) String() string {
+	elems := s.Elems(nil)
+	parts := make([]string, len(elems))
+	for i, e := range elems {
+		parts[i] = fmt.Sprint(e)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

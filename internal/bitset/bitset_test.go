@@ -1,0 +1,213 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if got := s.Count(); got != 0 {
+		t.Errorf("Count() = %d, want 0", got)
+	}
+	if !s.Empty() {
+		t.Error("Empty() = false, want true")
+	}
+	if s.Cap() != 100 {
+		t.Errorf("Cap() = %d, want 100", s.Cap())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // spans three words
+	elems := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	for _, e := range elems {
+		if !s.Contains(e) {
+			t.Errorf("Contains(%d) = false after Add", e)
+		}
+	}
+	if got := s.Count(); got != len(elems) {
+		t.Errorf("Count() = %d, want %d", got, len(elems))
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) = true after Remove")
+	}
+	if got := s.Count(); got != len(elems)-1 {
+		t.Errorf("Count() = %d, want %d", got, len(elems)-1)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if got := s.Count(); got != 1 {
+		t.Errorf("Count() after double Add = %d, want 1", got)
+	}
+}
+
+func TestNilSet(t *testing.T) {
+	var s *Set
+	if s.Contains(5) {
+		t.Error("nil set Contains(5) = true, want false")
+	}
+	if s.Count() != 0 {
+		t.Error("nil set Count() != 0")
+	}
+	if !s.Empty() {
+		t.Error("nil set Empty() = false")
+	}
+	if s.Clone() != nil {
+		t.Error("nil set Clone() != nil")
+	}
+	if got := s.Elems(nil); len(got) != 0 {
+		t.Errorf("nil set Elems = %v, want empty", got)
+	}
+	if s.Cap() != 0 {
+		t.Error("nil set Cap() != 0")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromSlice(50, []int{1, 2, 3, 49})
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Empty() = false after Clear")
+	}
+	if s.Cap() != 50 {
+		t.Errorf("Cap() = %d after Clear, want 50", s.Cap())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := FromSlice(20, []int{4, 5})
+	c := s.Clone()
+	c.Add(6)
+	if s.Contains(6) {
+		t.Error("mutating clone affected original")
+	}
+	s.Remove(4)
+	if !c.Contains(4) {
+		t.Error("mutating original affected clone")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	s := FromSlice(20, []int{1, 2})
+	d := New(20)
+	d.Add(19)
+	d.CopyFrom(s)
+	if !d.Contains(1) || !d.Contains(2) || d.Contains(19) {
+		t.Errorf("CopyFrom mismatch: got %v", d)
+	}
+	d.CopyFrom(nil)
+	if !d.Empty() {
+		t.Error("CopyFrom(nil) should clear")
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a := FromSlice(70, []int{1, 65})
+	b := FromSlice(70, []int{2, 65})
+	a.UnionWith(b)
+	want := []int{1, 2, 65}
+	got := a.Elems(nil)
+	if len(got) != len(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union = %v, want %v", got, want)
+		}
+	}
+	a.UnionWith(nil) // no-op
+	if a.Count() != 3 {
+		t.Error("UnionWith(nil) changed the set")
+	}
+}
+
+func TestIntersectsWith(t *testing.T) {
+	a := FromSlice(100, []int{3, 99})
+	b := FromSlice(100, []int{99})
+	c := FromSlice(100, []int{4})
+	if !a.IntersectsWith(b) {
+		t.Error("a and b should intersect")
+	}
+	if a.IntersectsWith(c) {
+		t.Error("a and c should not intersect")
+	}
+	if a.IntersectsWith(nil) {
+		t.Error("intersect with nil should be false")
+	}
+}
+
+func TestElemsSorted(t *testing.T) {
+	s := FromSlice(200, []int{150, 3, 77, 63, 64})
+	got := s.Elems(nil)
+	want := []int{3, 63, 64, 77, 150}
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFromSliceIgnoresOutOfRange(t *testing.T) {
+	s := FromSlice(10, []int{-1, 5, 10, 11})
+	if s.Count() != 1 || !s.Contains(5) {
+		t.Errorf("FromSlice out-of-range handling wrong: %v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice(10, []int{1, 3})
+	if got := s.String(); got != "{1, 3}" {
+		t.Errorf("String() = %q, want {1, 3}", got)
+	}
+}
+
+// TestQuickMatchesMap cross-checks the bitset against a map-based set under a
+// random operation sequence.
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 300
+		s := New(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			x := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(x)
+				ref[x] = true
+			case 1:
+				s.Remove(x)
+				delete(ref, x)
+			default:
+				if s.Contains(x) != ref[x] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for _, e := range s.Elems(nil) {
+			if !ref[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

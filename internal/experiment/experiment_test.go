@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAllRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 13 {
+		t.Fatalf("registered %d experiments, want 13", len(exps))
+	}
+	for i, e := range exps {
+		want := "E" + Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Error("E3 should exist")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+	if _, ok := ByID("e3"); ok {
+		t.Error("lookup is case-sensitive")
+	}
+}
+
+// TestQuickRunsAllExperiments executes every experiment in Quick mode and
+// requires every invariant-style experiment to pass. This is the
+// integration test of the whole reproduction pipeline.
+func TestQuickRunsAllExperiments(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := e.Run(Config{Seed: 42, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !rep.Pass {
+				t.Errorf("%s failed: %v", e.ID, rep.Findings)
+			}
+			if len(rep.Tables) == 0 {
+				t.Errorf("%s produced no tables", e.ID)
+			}
+			if len(rep.Findings) == 0 {
+				t.Errorf("%s produced no findings", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(buf.String(), e.ID+": PASS") {
+				t.Errorf("%s render missing status line:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestQuickDeterministicUnderSeed(t *testing.T) {
+	e, ok := ByID("E3")
+	if !ok {
+		t.Fatal("E3 missing")
+	}
+	render := func() string {
+		rep, err := e.Run(Config{Seed: 7, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("same seed should give identical reports")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "a", "long-header", "c")
+	tab.Add("1", "2", "3")
+	tab.Add("100", "2000", "x")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "long-header") {
+		t.Errorf("missing header: %q", lines[1])
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity should panic")
+		}
+	}()
+	tab.Add("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	tab.Add("1", "two,with comma")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"two,with comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3 x^2 exactly.
+	xs := []float64{1, 2, 4, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-2) > 1e-9 {
+		t.Errorf("exponent = %v, want 2", fit.Exponent)
+	}
+	if math.Abs(fit.Scale-3) > 1e-9 {
+		t.Errorf("scale = %v, want 3", fit.Scale)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Errorf("R² = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := FitPowerLaw([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitPowerLaw([]float64{0, 2}, []float64{1, 2}); err == nil {
+		t.Error("non-positive x should error")
+	}
+	if _, err := FitPowerLaw([]float64{1, 2}, []float64{-1, 2}); err == nil {
+		t.Error("non-positive y should error")
+	}
+	if _, err := FitPowerLaw([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if Itoa(42) != "42" || I64(1<<40) == "" {
+		t.Error("int helpers broken")
+	}
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+}

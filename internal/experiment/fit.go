@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerLawFit is the least-squares fit of y = scale · x^Exponent on log-log
+// axes, with the coefficient of determination of the log-space regression.
+type PowerLawFit struct {
+	Exponent float64
+	Scale    float64
+	R2       float64
+}
+
+// FitPowerLaw fits y ≈ scale·x^e by linear regression of log y on log x.
+// All inputs must be positive and the series at least two points long.
+// Experiments use it to compare measured growth exponents against the
+// paper's predictions (f^{1-1/k}, n^{1+1/k}, Moore bound slopes).
+func FitPowerLaw(xs, ys []float64) (PowerLawFit, error) {
+	if len(xs) != len(ys) {
+		return PowerLawFit{}, fmt.Errorf("experiment: series lengths differ: %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return PowerLawFit{}, fmt.Errorf("experiment: need at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerLawFit{}, fmt.Errorf("experiment: power-law fit needs positive data, got (%v,%v)", xs[i], ys[i])
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		syy += ly * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return PowerLawFit{}, fmt.Errorf("experiment: degenerate x series (all equal)")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	// R² of the log-space regression.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		ly := math.Log(ys[i])
+		pred := intercept + slope*math.Log(xs[i])
+		ssRes += (ly - pred) * (ly - pred)
+		ssTot += (ly - meanY) * (ly - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return PowerLawFit{Exponent: slope, Scale: math.Exp(intercept), R2: r2}, nil
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Table is a rendered result table with aligned plain-text output and CSV
+// export. Rows are built with Add; all formatting helpers return strings so
+// rows stay homogeneous.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; it panics if the cell count does not match the header,
+// which is always a programming error in an experiment runner.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiment: row has %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV exports the table (header + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Itoa formats an int cell.
+func Itoa(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64 cell.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// F formats a float cell with the given number of decimals.
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Dur formats a duration cell at millisecond resolution.
+func Dur(d time.Duration) string {
+	return d.Round(time.Millisecond * 10 / 10).Round(time.Microsecond * 100).String()
+}

@@ -1,0 +1,330 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/sssp"
+)
+
+// bruteForceExists enumerates every fault set of size <= budget over the
+// full universe (all vertices except u,v; or all edges) and reports whether
+// any makes dist(u,v) > bound. Exponential; tiny graphs only.
+func bruteForceExists(g *graph.Graph, mode Mode, u, v int, bound float64, budget int) bool {
+	var universe []int
+	if mode == Vertices {
+		for x := 0; x < g.NumVertices(); x++ {
+			if x != u && x != v {
+				universe = append(universe, x)
+			}
+		}
+	} else {
+		for e := 0; e < g.NumEdges(); e++ {
+			universe = append(universe, e)
+		}
+	}
+	var try func(start int, chosen []int) bool
+	check := func(chosen []int) bool {
+		opts := sssp.Options{}
+		if mode == Vertices {
+			opts.ForbiddenVertices = bitset.FromSlice(g.NumVertices(), chosen)
+		} else {
+			opts.ForbiddenEdges = bitset.FromSlice(g.NumEdges(), chosen)
+		}
+		return sssp.Dist(g, u, v, opts) > bound
+	}
+	try = func(start int, chosen []int) bool {
+		if check(chosen) {
+			return true
+		}
+		if len(chosen) == budget {
+			return false
+		}
+		for i := start; i < len(universe); i++ {
+			if try(i+1, append(chosen, universe[i])) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(0, nil)
+}
+
+// validateWitness confirms the oracle's returned fault set actually works.
+func validateWitness(t *testing.T, g *graph.Graph, mode Mode, u, v int, bound float64, budget int, witness []int) {
+	t.Helper()
+	if len(witness) > budget {
+		t.Fatalf("witness %v exceeds budget %d", witness, budget)
+	}
+	opts := sssp.Options{}
+	if mode == Vertices {
+		for _, x := range witness {
+			if x == u || x == v {
+				t.Fatalf("witness %v contains an endpoint", witness)
+			}
+		}
+		opts.ForbiddenVertices = bitset.FromSlice(g.NumVertices(), witness)
+	} else {
+		opts.ForbiddenEdges = bitset.FromSlice(g.NumEdges(), witness)
+	}
+	if d := sssp.Dist(g, u, v, opts); d <= bound {
+		t.Fatalf("witness %v does not work: dist=%v <= bound=%v", witness, d, bound)
+	}
+}
+
+func mustOracle(t *testing.T, g *graph.Graph, mode Mode, opts Options) *Oracle {
+	t.Helper()
+	o, err := NewOracle(g, mode, opts)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	return o
+}
+
+func TestNewOracleInvalidMode(t *testing.T) {
+	if _, err := NewOracle(graph.New(2), Mode(0), Options{}); err == nil {
+		t.Error("invalid mode should error")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Vertices.String() != "vertex" || Edges.String() != "edge" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}
+
+func TestFindFaultSetQueryErrors(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	o := mustOracle(t, g, Vertices, Options{})
+	if _, _, err := o.FindFaultSet(-1, 1, 1, 0); err == nil {
+		t.Error("negative endpoint should error")
+	}
+	if _, _, err := o.FindFaultSet(0, 3, 1, 0); err == nil {
+		t.Error("out-of-range endpoint should error")
+	}
+	if _, _, err := o.FindFaultSet(1, 1, 1, 0); err == nil {
+		t.Error("coincident endpoints should error")
+	}
+	if _, _, err := o.FindFaultSet(0, 1, 1, -1); err == nil {
+		t.Error("negative budget should error")
+	}
+}
+
+func TestEdgeCapacityGrowth(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	o := mustOracle(t, g, Edges, Options{EdgeCapacity: 2})
+	g.MustAddEdge(1, 2, 1)
+	if _, _, err := o.FindFaultSet(0, 2, 5, 1); err != nil {
+		t.Fatalf("growth within capacity should work: %v", err)
+	}
+	g.MustAddEdge(2, 3, 1)
+	if _, _, err := o.FindFaultSet(0, 3, 5, 1); err == nil {
+		t.Error("growth past capacity should error")
+	}
+}
+
+func TestVertexModeDiamond(t *testing.T) {
+	// 0-1-3 (weight 2) and 0-2-3 (weight 4): u=0, v=3.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(2, 3, 2)
+	o := mustOracle(t, g, Vertices, Options{})
+
+	// Budget 0, bound 1.9: dist=2 > 1.9 already, empty witness.
+	w, ok, err := o.FindFaultSet(0, 3, 1.9, 0)
+	if err != nil || !ok || len(w) != 0 {
+		t.Errorf("bound 1.9: got %v,%v,%v; want empty witness", w, ok, err)
+	}
+	// Budget 0, bound 2: dist=2 <= 2, no witness.
+	if _, ok, _ := o.FindFaultSet(0, 3, 2, 0); ok {
+		t.Error("budget 0 bound 2 should fail")
+	}
+	// Budget 1, bound 2: fault vertex 1 -> dist 4 > 2.
+	w, ok, err = o.FindFaultSet(0, 3, 2, 1)
+	if err != nil || !ok {
+		t.Fatalf("budget 1 bound 2: %v %v", ok, err)
+	}
+	validateWitness(t, g, Vertices, 0, 3, 2, 1, w)
+	// Budget 1, bound 4: single fault cannot push beyond 4 (other path).
+	if _, ok, _ := o.FindFaultSet(0, 3, 4, 1); ok {
+		t.Error("budget 1 bound 4 should fail")
+	}
+	// Budget 2, bound 4: fault both internal vertices -> disconnected.
+	w, ok, _ = o.FindFaultSet(0, 3, 4, 2)
+	if !ok {
+		t.Fatal("budget 2 bound 4 should succeed")
+	}
+	validateWitness(t, g, Vertices, 0, 3, 4, 2, w)
+}
+
+func TestVertexModeDirectEdgeUnbreakable(t *testing.T) {
+	// With a direct u-v edge within the bound, no vertex fault set works.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 1, 1)
+	o := mustOracle(t, g, Vertices, Options{})
+	if _, ok, _ := o.FindFaultSet(0, 1, 1, 2); ok {
+		t.Error("direct edge within bound cannot be vertex-faulted")
+	}
+}
+
+func TestEdgeModeDirectEdge(t *testing.T) {
+	// Edge faults can remove the direct edge.
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 1)
+	o := mustOracle(t, g, Edges, Options{})
+	w, ok, err := o.FindFaultSet(0, 1, 10, 1)
+	if err != nil || !ok {
+		t.Fatalf("edge mode should fault the only edge: %v %v", ok, err)
+	}
+	validateWitness(t, g, Edges, 0, 1, 10, 1, w)
+}
+
+func TestEdgeModeCycle(t *testing.T) {
+	// C4 with unit weights, u=0, v=2 (distance 2, two edge-disjoint paths).
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	o := mustOracle(t, g, Edges, Options{})
+	// One edge fault: the other path (weight 2) remains; bound 1.5 works
+	// though (2 > 1.5)? dist without faults is already 2 > 1.5: empty set.
+	w, ok, _ := o.FindFaultSet(0, 2, 1.5, 0)
+	if !ok || len(w) != 0 {
+		t.Error("bound 1.5 should hold with no faults")
+	}
+	// Bound 2 budget 1: faulting one path's edge leaves the other at 2 <= 2.
+	if _, ok, _ := o.FindFaultSet(0, 2, 2, 1); ok {
+		t.Error("single edge fault cannot beat bound 2 on C4")
+	}
+	// Bound 2 budget 2: fault one edge from each path.
+	w, ok, _ = o.FindFaultSet(0, 2, 2, 2)
+	if !ok {
+		t.Fatal("two edge faults should disconnect 0-2 within bound")
+	}
+	validateWitness(t, g, Edges, 0, 2, 2, 2, w)
+}
+
+func TestCallCounters(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	o := mustOracle(t, g, Vertices, Options{})
+	if _, _, err := o.FindFaultSet(0, 2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Calls() != 1 {
+		t.Errorf("Calls() = %d, want 1", o.Calls())
+	}
+	if o.Dijkstras() == 0 {
+		t.Error("Dijkstras() should be positive")
+	}
+	if o.Mode() != Vertices {
+		t.Error("Mode() wrong")
+	}
+}
+
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(perm[i], perm[rng.Intn(i)], float64(1+rng.Intn(3)))
+	}
+	for tries := 0; tries < extra; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, float64(1+rng.Intn(3)))
+	}
+	return g
+}
+
+// TestQuickOracleMatchesBruteForce fuzzes both modes and all four
+// pruning/memo configurations against exhaustive enumeration.
+func TestQuickOracleMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		g := randomConnectedGraph(rng, n, n)
+		mode := Vertices
+		if rng.Intn(2) == 0 {
+			mode = Edges
+		}
+		u := rng.Intn(n)
+		v := (u + 1 + rng.Intn(n-1)) % n
+		budget := rng.Intn(3)
+		bound := float64(1+rng.Intn(4)) + 0.5
+		want := bruteForceExists(g, mode, u, v, bound, budget)
+		for _, opts := range []Options{
+			{},
+			{DisablePruning: true},
+			{DisableMemo: true},
+			{DisablePruning: true, DisableMemo: true},
+		} {
+			o, err := NewOracle(g, mode, opts)
+			if err != nil {
+				return false
+			}
+			w, got, err := o.FindFaultSet(u, v, bound, budget)
+			if err != nil || got != want {
+				return false
+			}
+			if got {
+				// Inline witness validation (can't t.Fatal inside quick).
+				so := sssp.Options{}
+				if mode == Vertices {
+					so.ForbiddenVertices = bitset.FromSlice(n, w)
+				} else {
+					so.ForbiddenEdges = bitset.FromSlice(g.NumEdges(), w)
+				}
+				if len(w) > budget || sssp.Dist(g, u, v, so) <= bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisconnectedPair(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	o := mustOracle(t, g, Vertices, Options{})
+	w, ok, err := o.FindFaultSet(0, 2, math.MaxFloat64, 0)
+	if err != nil || !ok || len(w) != 0 {
+		t.Error("disconnected pair should need no faults at any bound")
+	}
+}
+
+func BenchmarkOracleVFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnectedGraph(rng, 60, 200)
+	o, err := NewOracle(g, Vertices, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.FindFaultSet(0, 30, 4, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package gen constructs the graph families used by the examples, tests and
+// experiments: classical deterministic families, random models, high-girth
+// graphs (constructive witnesses for b(n,k)), and the BDPW lower-bound
+// product graph that certifies the optimality of the paper's Theorem 1.
+//
+// Every randomized generator takes an explicit *rand.Rand so experiments are
+// reproducible under a fixed seed. All edges default to weight 1; use
+// RandomizeWeights to perturb weights (e.g. to make greedy tie-breaking
+// non-trivial).
+package gen
+
+import (
+	"fmt"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns the biclique K_{a,b}: vertices 0..a-1 on the
+// left, a..a+b-1 on the right.
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.MustAddEdge(i, a+j, 1)
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n. It returns an error for n < 3, which cannot
+// form a simple cycle.
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: cycle needs n >= 3, got %d", n)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, 1)
+	}
+	return g, nil
+}
+
+// Path returns the path P_n on n vertices (n-1 edges).
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i, 1)
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph. Vertex (r,c) has ID r*cols+c.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.MustAddEdge(v, v+1, 1)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(v, v+cols, 1)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices.
+func Hypercube(d int) (*graph.Graph, error) {
+	if d < 0 || d > 24 {
+		return nil, fmt.Errorf("gen: hypercube dimension %d out of [0,24]", d)
+	}
+	n := 1 << uint(d)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				g.MustAddEdge(v, w, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Petersen returns the Petersen graph (10 vertices, 15 edges, girth 5).
+func Petersen() *graph.Graph {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(i, (i+1)%5, 1)     // outer cycle
+		g.MustAddEdge(5+i, 5+(i+2)%5, 1) // inner pentagram
+		g.MustAddEdge(i, 5+i, 1)         // spokes
+	}
+	return g
+}

@@ -1,0 +1,373 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/girth"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.NumVertices() != 6 || g.NumEdges() != 15 {
+		t.Fatalf("K6: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 5 {
+			t.Errorf("K6 degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(2, 3)
+	if g.NumVertices() != 5 || g.NumEdges() != 6 {
+		t.Fatalf("K23: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("left side should be independent")
+	}
+	if g.HasEdge(2, 4) {
+		t.Error("right side should be independent")
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(1, 4) {
+		t.Error("cross edges missing")
+	}
+	if got := girth.Girth(CompleteBipartite(3, 3)); got != 4 {
+		t.Errorf("K33 girth = %d, want 4", got)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(7)
+	if err != nil {
+		t.Fatalf("Cycle: %v", err)
+	}
+	if g.NumEdges() != 7 || girth.Girth(g) != 7 {
+		t.Errorf("C7 wrong: m=%d girth=%d", g.NumEdges(), girth.Girth(g))
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2) should error")
+	}
+}
+
+func TestPathAndStar(t *testing.T) {
+	p := Path(5)
+	if p.NumEdges() != 4 || girth.Girth(p) != girth.Acyclic {
+		t.Error("P5 wrong")
+	}
+	s := Star(5)
+	if s.NumEdges() != 4 || s.Degree(0) != 4 {
+		t.Error("star wrong")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("grid n = %d", g.NumVertices())
+	}
+	// 3*(4-1) horizontal + 4*(3-1) vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("grid m = %d, want 17", g.NumEdges())
+	}
+	if girth.Girth(g) != 4 {
+		t.Errorf("grid girth = %d, want 4", girth.Girth(g))
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatalf("Hypercube: %v", err)
+	}
+	if g.NumVertices() != 16 || g.NumEdges() != 32 {
+		t.Fatalf("Q4: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if girth.Girth(g) != 4 {
+		t.Errorf("Q4 girth = %d, want 4", girth.Girth(g))
+	}
+	if _, err := Hypercube(-1); err == nil {
+		t.Error("negative dimension should error")
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.NumVertices() != 10 || g.NumEdges() != 15 {
+		t.Fatal("petersen counts wrong")
+	}
+	if girth.Girth(g) != 5 {
+		t.Errorf("petersen girth = %d, want 5", girth.Girth(g))
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("petersen degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGNP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GNP(50, 0, rng)
+	if g.NumEdges() != 0 {
+		t.Error("G(n,0) must be empty")
+	}
+	g = GNP(50, 1, rng)
+	if g.NumEdges() != 50*49/2 {
+		t.Error("G(n,1) must be complete")
+	}
+	g = GNP(100, 0.1, rng)
+	want := 0.1 * 100 * 99 / 2
+	if float64(g.NumEdges()) < want/2 || float64(g.NumEdges()) > want*2 {
+		t.Errorf("G(100,0.1) m = %d, expected around %v", g.NumEdges(), want)
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := GNM(20, 50, rng)
+	if err != nil {
+		t.Fatalf("GNM: %v", err)
+	}
+	if g.NumVertices() != 20 || g.NumEdges() != 50 {
+		t.Errorf("GNM sizes: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if _, err := GNM(5, 11, rng); err == nil {
+		t.Error("GNM beyond complete should error")
+	}
+	if _, err := GNM(5, -1, rng); err == nil {
+		t.Error("negative m should error")
+	}
+}
+
+func TestConnectedGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := ConnectedGNM(40, 60, rng)
+	if err != nil {
+		t.Fatalf("ConnectedGNM: %v", err)
+	}
+	if g.NumEdges() != 60 {
+		t.Errorf("m = %d, want 60", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Error("ConnectedGNM output must be connected")
+	}
+	if _, err := ConnectedGNM(10, 8, rng); err == nil {
+		t.Error("too few edges should error")
+	}
+	if _, err := ConnectedGNM(4, 7, rng); err == nil {
+		t.Error("too many edges should error")
+	}
+	// Tree case m = n-1.
+	tree, err := ConnectedGNM(15, 14, rng)
+	if err != nil || !tree.IsConnected() || girth.Girth(tree) != girth.Acyclic {
+		t.Error("spanning tree case broken")
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, pts := RandomGeometric(80, 0.3, rng)
+	if len(pts) != 80 || g.NumVertices() != 80 {
+		t.Fatal("size mismatch")
+	}
+	for _, e := range g.Edges() {
+		d := pts[e.U].Dist(pts[e.V])
+		if d > 0.3 {
+			t.Errorf("edge (%d,%d) longer than radius: %v", e.U, e.V, d)
+		}
+		if e.Weight != d {
+			t.Errorf("edge weight %v != distance %v", e.Weight, d)
+		}
+	}
+	// Radius sqrt(2) connects everything.
+	full, _ := RandomGeometric(10, 1.5, rng)
+	if full.NumEdges() != 45 {
+		t.Errorf("radius 1.5 should give K10, got m=%d", full.NumEdges())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := RandomRegular(30, 4, rng)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	for v := 0; v < 30; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Error("odd n*d should error")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil {
+		t.Error("d >= n should error")
+	}
+}
+
+func TestRandomizeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := Grid(4, 4)
+	w, err := RandomizeWeights(g, 1, 2, rng)
+	if err != nil {
+		t.Fatalf("RandomizeWeights: %v", err)
+	}
+	if w.NumEdges() != g.NumEdges() {
+		t.Fatal("topology changed")
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i), w.Edge(i)
+		if a.U != b.U || a.V != b.V {
+			t.Fatal("edge IDs not preserved")
+		}
+		if b.Weight < 1 || b.Weight >= 2 {
+			t.Errorf("weight %v outside [1,2)", b.Weight)
+		}
+	}
+	if _, err := RandomizeWeights(g, 0, 1, rng); err == nil {
+		t.Error("lo=0 should error")
+	}
+	if _, err := RandomizeWeights(g, 2, 2, rng); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestHighGirth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, above := range []int{3, 4, 5, 7} {
+		g := HighGirth(60, above, 0, rng)
+		if got := girth.Girth(g); got <= above {
+			t.Errorf("HighGirth(60,%d) girth = %d, want > %d", above, got, above)
+		}
+		if g.NumEdges() < 59 {
+			// A maximal girth>g graph on a connected budget is connected and
+			// has at least a spanning tree.
+			t.Errorf("HighGirth(60,%d) suspiciously sparse: m=%d", above, g.NumEdges())
+		}
+	}
+}
+
+func TestHighGirthMaximal(t *testing.T) {
+	// Maximality: no admissible pair remains, i.e. every non-edge has hop
+	// distance < girthAbove.
+	rng := rand.New(rand.NewSource(8))
+	const n, above = 25, 4
+	g := HighGirth(n, above, 0, rng)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			h := g.Clone()
+			h.MustAddEdge(u, v, 1)
+			if !girth.HasCycleAtMost(h, above) {
+				t.Fatalf("pair (%d,%d) could still be added: not maximal", u, v)
+			}
+		}
+	}
+}
+
+func TestHighGirthMaxEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := HighGirth(40, 3, 10, rng)
+	if g.NumEdges() != 10 {
+		t.Errorf("maxEdges cap not respected: m=%d", g.NumEdges())
+	}
+}
+
+func TestHighGirthTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	if g := HighGirth(0, 3, 0, rng); g.NumVertices() != 0 {
+		t.Error("n=0 should yield empty graph")
+	}
+	if g := HighGirth(1, 3, 0, rng); g.NumEdges() != 0 {
+		t.Error("n=1 has no edges")
+	}
+	if g := HighGirth(2, 5, 0, rng); g.NumEdges() != 1 {
+		t.Error("n=2 should connect the only pair")
+	}
+}
+
+func TestIncidenceBipartite(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 8, 9} {
+		g, err := IncidenceBipartite(q)
+		if err != nil {
+			t.Fatalf("IncidenceBipartite(%d): %v", q, err)
+		}
+		n := q*q + q + 1
+		if g.NumVertices() != 2*n {
+			t.Fatalf("q=%d: n=%d, want %d", q, g.NumVertices(), 2*n)
+		}
+		if g.NumEdges() != n*(q+1) {
+			t.Fatalf("q=%d: m=%d, want %d", q, g.NumEdges(), n*(q+1))
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: degree(%d)=%d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if got := girth.Girth(g); got != 6 {
+			t.Errorf("q=%d: girth=%d, want 6", q, got)
+		}
+	}
+	if _, err := IncidenceBipartite(6); err == nil {
+		t.Error("non-prime-power order should error")
+	}
+	if _, err := IncidenceBipartite(1); err == nil {
+		t.Error("order 1 should error")
+	}
+}
+
+func TestBDPWLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nBase, k, f = 12, 3, 4
+	base := HighGirth(nBase, k+1, 0, rand.New(rand.NewSource(11)))
+	g := BDPWLowerBound(nBase, k, f, rng)
+	const copies = f / 2
+	if g.NumVertices() != nBase*copies {
+		t.Fatalf("blow-up n = %d, want %d", g.NumVertices(), nBase*copies)
+	}
+	if g.NumEdges() != base.NumEdges()*copies*copies {
+		t.Fatalf("blow-up m = %d, want %d", g.NumEdges(), base.NumEdges()*copies*copies)
+	}
+	if !g.IsConnected() {
+		t.Error("BDPW graph should be connected")
+	}
+	// f=1 degenerates to the base graph itself (t=1).
+	tiny := BDPWLowerBound(8, 3, 1, rand.New(rand.NewSource(12)))
+	if tiny.NumVertices() != 8 {
+		t.Errorf("f=1 blow-up n = %d, want 8", tiny.NumVertices())
+	}
+}
+
+func TestGeneratorsDeterministicUnderSeed(t *testing.T) {
+	a := HighGirth(30, 4, 0, rand.New(rand.NewSource(42)))
+	b := HighGirth(30, 4, 0, rand.New(rand.NewSource(42)))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("HighGirth not deterministic under fixed seed")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("HighGirth edge streams differ under fixed seed")
+		}
+	}
+	c, _ := ConnectedGNM(30, 60, rand.New(rand.NewSource(42)))
+	d, _ := ConnectedGNM(30, 60, rand.New(rand.NewSource(42)))
+	for i := 0; i < c.NumEdges(); i++ {
+		if c.Edge(i) != d.Edge(i) {
+			t.Fatal("ConnectedGNM not deterministic under fixed seed")
+		}
+	}
+}
+
+var sinkGraph *graph.Graph
+
+func BenchmarkHighGirth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		sinkGraph = HighGirth(100, 5, 0, rng)
+	}
+}

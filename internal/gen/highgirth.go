@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ftspanner/ftspanner/internal/gf"
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/sssp"
+)
+
+// HighGirth returns a graph on n vertices with girth strictly greater than
+// girthAbove, built greedily: candidate pairs are visited in random order
+// and an edge (u,v) is added iff the current hop distance between u and v is
+// at least girthAbove (so the shortest cycle the new edge can close has
+// girthAbove+1 or more edges).
+//
+// Because adding edges only ever shrinks distances, a pair rejected once
+// stays inadmissible, so a single full pass yields a maximal girth>girthAbove
+// graph — a constructive lower-bound witness for b(n, girthAbove). If
+// maxEdges > 0, generation stops early at that many edges.
+func HighGirth(n, girthAbove, maxEdges int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	if n < 2 {
+		return g
+	}
+	pairs := make([][2]int, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+
+	// BFS depth girthAbove-1 decides "hop distance >= girthAbove".
+	for _, p := range pairs {
+		if maxEdges > 0 && g.NumEdges() >= maxEdges {
+			break
+		}
+		u, v := p[0], p[1]
+		res, err := sssp.BFS(g, u, girthAbove-1, sssp.Options{})
+		if err != nil {
+			// Unreachable: u is always a valid, unforbidden source.
+			panic(err)
+		}
+		if res.Hops[v] == -1 { // farther than girthAbove-1 hops (or disconnected)
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// IncidenceBipartite returns the point–line incidence graph of the
+// projective plane PG(2,q) for a prime power q: a bipartite, (q+1)-regular
+// graph on 2(q²+q+1) vertices with girth exactly 6. These graphs meet the
+// Moore bound for girth > 5 up to constants and serve as exact witnesses in
+// the b(n,k) experiments (E10).
+//
+// Points are vertices 0..q²+q, lines are q²+q+1..2(q²+q+1)-1; point P lies
+// on line L iff their homogeneous coordinates are orthogonal over GF(q).
+func IncidenceBipartite(q int) (*graph.Graph, error) {
+	field, err := gf.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("gen: incidence construction needs a prime-power order: %w", err)
+	}
+	coords := projectivePoints(q)
+	n := len(coords) // q^2+q+1
+	g := graph.New(2 * n)
+	for p := 0; p < n; p++ {
+		for l := 0; l < n; l++ {
+			dot := 0
+			for i := 0; i < 3; i++ {
+				dot = field.Add(dot, field.Mul(coords[p][i], coords[l][i]))
+			}
+			if dot == 0 {
+				g.MustAddEdge(p, n+l, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// projectivePoints enumerates the normalized homogeneous coordinates of
+// PG(2,q): (1,y,z), (0,1,z), (0,0,1), with y,z ranging over field elements.
+func projectivePoints(q int) [][3]int {
+	pts := make([][3]int, 0, q*q+q+1)
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			pts = append(pts, [3]int{1, y, z})
+		}
+	}
+	for z := 0; z < q; z++ {
+		pts = append(pts, [3]int{0, 1, z})
+	}
+	pts = append(pts, [3]int{0, 0, 1})
+	return pts
+}
+
+// BDPWLowerBound builds the vertex-fault-tolerance lower-bound graph of
+// Bodwin–Dinitz–Parter–Williams (SODA'18), referenced throughout the paper:
+// the balanced blow-up of a girth > k+1 graph on nBase vertices with
+// t = max(1, ⌊f/2⌋) copies per vertex — each base edge becomes a biclique
+// between the copy groups (the paper describes this as the "product with a
+// biclique on ⌊f/2⌋ nodes"). It has Θ(f²·b(n/f, k+1)) edges, and EVERY edge
+// is forced into any f-VFT k-spanner: faulting the 2(t-1) <= f other copies
+// of an edge's endpoints leaves no within-stretch detour, because a detour
+// would project to a short u-v walk in the base graph, which by girth > k+1
+// must traverse the base edge (u,v) itself — available only as the faulted
+// edge's own copy. Experiment E6 measures exactly this incompressibility.
+func BDPWLowerBound(nBase, k, f int, rng *rand.Rand) *graph.Graph {
+	base := HighGirth(nBase, k+1, 0, rng)
+	t := f / 2
+	if t < 1 {
+		t = 1
+	}
+	return graph.Blowup(base, t)
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// BarabasiAlbert returns a scale-free graph via preferential attachment:
+// starting from a star on m0+1 vertices, each new vertex attaches to
+// attach distinct existing vertices chosen with probability proportional to
+// their current degree (implemented with the standard repeated-endpoint
+// urn). Degree distributions follow a power law, giving the hub-heavy
+// topologies real networks exhibit — the hardest case for vertex fault
+// tolerance, since hubs concentrate many detours.
+func BarabasiAlbert(n, attach int, rng *rand.Rand) (*graph.Graph, error) {
+	if attach < 1 {
+		return nil, fmt.Errorf("gen: barabasi-albert needs attach >= 1, got %d", attach)
+	}
+	if n < attach+1 {
+		return nil, fmt.Errorf("gen: barabasi-albert needs n >= attach+1 = %d, got %d", attach+1, n)
+	}
+	g := graph.New(n)
+	// Urn of endpoints: each edge contributes both endpoints, so a vertex
+	// appears deg(v) times.
+	urn := make([]int, 0, 2*attach*n)
+	// Seed: a star on vertices 0..attach (vertex 0 is the hub).
+	for v := 1; v <= attach; v++ {
+		g.MustAddEdge(0, v, 1)
+		urn = append(urn, 0, v)
+	}
+	chosen := make(map[int]bool, attach)
+	for v := attach + 1; v < n; v++ {
+		for t := range chosen {
+			delete(chosen, t)
+		}
+		for len(chosen) < attach {
+			target := urn[rng.Intn(len(urn))]
+			if target != v {
+				chosen[target] = true
+			}
+		}
+		for target := range chosen {
+			g.MustAddEdge(v, target, 1)
+			urn = append(urn, v, target)
+		}
+	}
+	return g, nil
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex connects to its k/2 nearest neighbors on each side, with each
+// lattice edge rewired to a uniformly random endpoint with probability
+// beta. beta = 0 keeps the lattice, beta = 1 approaches G(n, m). k must be
+// even, 2 <= k < n.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("gen: watts-strogatz needs even k in [2, n), got k=%d n=%d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: watts-strogatz needs beta in [0,1], got %v", beta)
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k/2; d++ {
+			u := (v + d) % n
+			if rng.Float64() < beta {
+				// Rewire: pick a random new endpoint avoiding loops and
+				// parallels; keep the lattice edge if the vertex is
+				// saturated.
+				rewired := false
+				for tries := 0; tries < 2*n; tries++ {
+					w := rng.Intn(n)
+					if w != v && !g.HasEdge(v, w) {
+						g.MustAddEdge(v, w, 1)
+						rewired = true
+						break
+					}
+				}
+				if rewired {
+					continue
+				}
+			}
+			if !g.HasEdge(v, u) {
+				g.MustAddEdge(v, u, 1)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, attach = 200, 3
+	g, err := BarabasiAlbert(n, attach, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), n)
+	}
+	// attach seed edges + attach per additional vertex.
+	wantM := attach + (n-attach-1)*attach
+	if g.NumEdges() != wantM {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), wantM)
+	}
+	if !g.IsConnected() {
+		t.Error("preferential attachment must stay connected")
+	}
+	// Scale-free shape: the max degree should dwarf the median degree.
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = g.Degree(v)
+	}
+	sort.Ints(degs)
+	if degs[n-1] < 4*degs[n/2] {
+		t.Errorf("hubs missing: max degree %d vs median %d", degs[n-1], degs[n/2])
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := BarabasiAlbert(5, 0, rng); err == nil {
+		t.Error("attach=0 should error")
+	}
+	if _, err := BarabasiAlbert(3, 3, rng); err == nil {
+		t.Error("n <= attach should error")
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// beta=0: pure ring lattice, k-regular with nk/2 edges.
+	g, err := WattsStrogatz(20, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 40 {
+		t.Fatalf("lattice m = %d, want 40", g.NumEdges())
+	}
+	for v := 0; v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestWattsStrogatzRewired(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := WattsStrogatz(60, 6, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 60 {
+		t.Fatal("vertex count wrong")
+	}
+	// Rewiring keeps roughly nk/2 = 180 edges; a rewire target can collide
+	// with a not-yet-processed lattice edge, dropping a handful.
+	if m := g.NumEdges(); m < 170 || m > 180 {
+		t.Errorf("m = %d, want within [170, 180]", m)
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		n, k int
+		beta float64
+	}{
+		{10, 3, 0.1},  // odd k
+		{10, 0, 0.1},  // k too small
+		{10, 10, 0.1}, // k >= n
+		{10, 4, -0.1}, // beta out of range
+		{10, 4, 1.1},  // beta out of range
+	}
+	for _, c := range cases {
+		if _, err := WattsStrogatz(c.n, c.k, c.beta, rng); err == nil {
+			t.Errorf("WattsStrogatz(%d,%d,%v) should error", c.n, c.k, c.beta)
+		}
+	}
+}
+
+func TestQuickModelsAreSimpleGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ba, err := BarabasiAlbert(20+rng.Intn(40), 1+rng.Intn(4), rng)
+		if err != nil || !ba.IsConnected() {
+			return false
+		}
+		n := 12 + rng.Intn(40)
+		k := 2 * (1 + rng.Intn(3))
+		if k >= n {
+			k = 2
+		}
+		ws, err := WattsStrogatz(n, k, rng.Float64(), rng)
+		if err != nil {
+			return false
+		}
+		// Degree sums must equal twice the edge count (simple-graph sanity;
+		// AddEdge already rejects loops/parallels, so this is structural).
+		sum := 0
+		for v := 0; v < ws.NumVertices(); v++ {
+			sum += ws.Degree(v)
+		}
+		return sum == 2*ws.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// GNP returns an Erdős–Rényi graph G(n,p): each of the n·(n-1)/2 possible
+// edges is present independently with probability p.
+func GNP(n int, p float64, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// GNM returns a uniform random graph with exactly n vertices and m edges.
+func GNM(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	maxM := n * (n - 1) / 2
+	if m < 0 || m > maxM {
+		return nil, fmt.Errorf("gen: G(n,m) with n=%d admits 0..%d edges, got %d", n, maxM, m)
+	}
+	g := graph.New(n)
+	for g.NumEdges() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, 1)
+	}
+	return g, nil
+}
+
+// ConnectedGNM returns a connected random graph with n vertices and exactly
+// m edges: a uniform random spanning tree skeleton (random attachment) plus
+// m-(n-1) uniformly random extra edges. m must be at least n-1.
+func ConnectedGNM(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	if n > 0 && m < n-1 {
+		return nil, fmt.Errorf("gen: connected graph on %d vertices needs >= %d edges, got %d", n, n-1, m)
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		return nil, fmt.Errorf("gen: n=%d admits at most %d edges, got %d", n, maxM, m)
+	}
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(perm[i], perm[rng.Intn(i)], 1)
+	}
+	for g.NumEdges() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, 1)
+	}
+	return g, nil
+}
+
+// Point is a position in the unit square, reported by RandomGeometric.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// RandomGeometric places n points uniformly in the unit square and connects
+// every pair at Euclidean distance <= radius, weighting each edge by that
+// distance. It returns the graph and the coordinates (index = vertex ID).
+// This is the "sensor network" workload of the examples.
+func RandomGeometric(n int, radius float64, rng *rand.Rand) (*graph.Graph, []Point) {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if d := pts[u].Dist(pts[v]); d <= radius && d > 0 {
+				g.MustAddEdge(u, v, d)
+			}
+		}
+	}
+	return g, pts
+}
+
+// RandomRegular returns a random d-regular graph on n vertices via the
+// configuration (pairing) model, rejecting pairings with self-loops or
+// parallel edges. n·d must be even and d < n. It retries internally and
+// fails only if no simple pairing is found after many attempts (vanishingly
+// unlikely for d << n).
+func RandomRegular(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: regular degree %d out of [0,%d)", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: n*d must be even, got n=%d d=%d", n, d)
+	}
+	const maxAttempts = 500
+	stubs := make([]int, n*d)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := graph.New(n)
+		ok := true
+		for i := 0; i+1 < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.MustAddEdge(u, v, 1)
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: no simple %d-regular pairing on %d vertices after %d attempts", d, n, maxAttempts)
+}
+
+// RandomizeWeights returns a copy of g whose edge weights are drawn
+// uniformly from [lo, hi), preserving topology and edge IDs. It is the
+// standard way to make greedy weight-ordering non-trivial on unit-weight
+// families. lo must be positive and less than hi.
+func RandomizeWeights(g *graph.Graph, lo, hi float64, rng *rand.Rand) (*graph.Graph, error) {
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("gen: weight range [%v,%v) invalid", lo, hi)
+	}
+	out := graph.New(g.NumVertices())
+	for _, e := range g.Edges() {
+		out.MustAddEdge(e.U, e.V, lo+(hi-lo)*rng.Float64())
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+// Package gf implements arithmetic in small finite fields GF(p^k), used by
+// the generator of projective-plane incidence graphs (the extremal
+// girth-six witnesses of experiment E10). Elements are represented as
+// polynomials over GF(p) reduced modulo a monic irreducible polynomial of
+// degree k, found by exhaustive search — entirely adequate for the field
+// sizes graph generation needs (q up to a few hundred).
+package gf
+
+import (
+	"fmt"
+)
+
+// Field is a finite field GF(p^k). Elements are integers in [0, p^k) whose
+// base-p digits are the polynomial coefficients (least significant digit =
+// constant term).
+type Field struct {
+	p, k  int
+	q     int   // p^k
+	irred []int // monic irreducible polynomial, len k+1, coefficients mod p
+}
+
+// New constructs GF(q) for a prime power q = p^k. It returns an error if q
+// is not a prime power (or is too large for the generator's needs).
+func New(q int) (*Field, error) {
+	if q < 2 || q > 1<<16 {
+		return nil, fmt.Errorf("gf: order %d out of supported range [2, 65536]", q)
+	}
+	p, k, ok := primePower(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: %d is not a prime power", q)
+	}
+	f := &Field{p: p, k: k, q: q}
+	if k > 1 {
+		irred, err := findIrreducible(p, k)
+		if err != nil {
+			return nil, err
+		}
+		f.irred = irred
+	}
+	return f, nil
+}
+
+// Order returns q = p^k.
+func (f *Field) Order() int { return f.q }
+
+// Char returns the characteristic p.
+func (f *Field) Char() int { return f.p }
+
+// Add returns a+b in the field.
+func (f *Field) Add(a, b int) int {
+	if f.k == 1 {
+		return (a + b) % f.p
+	}
+	res := 0
+	for pow := 1; a > 0 || b > 0; pow *= f.p {
+		da, db := a%f.p, b%f.p
+		res += ((da + db) % f.p) * pow
+		a /= f.p
+		b /= f.p
+	}
+	return res
+}
+
+// Neg returns -a in the field.
+func (f *Field) Neg(a int) int {
+	if f.k == 1 {
+		return (f.p - a%f.p) % f.p
+	}
+	res := 0
+	for pow := 1; a > 0; pow *= f.p {
+		da := a % f.p
+		res += ((f.p - da) % f.p) * pow
+		a /= f.p
+	}
+	return res
+}
+
+// Sub returns a-b in the field.
+func (f *Field) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+// Mul returns a·b in the field.
+func (f *Field) Mul(a, b int) int {
+	if f.k == 1 {
+		return (a * b) % f.p
+	}
+	// Polynomial multiplication followed by reduction mod irred.
+	da, db := f.digits(a), f.digits(b)
+	prod := make([]int, len(da)+len(db)-1)
+	for i, ca := range da {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range db {
+			prod[i+j] = (prod[i+j] + ca*cb) % f.p
+		}
+	}
+	return f.fromDigits(f.reduce(prod))
+}
+
+// Inv returns the multiplicative inverse of a != 0. It panics on zero,
+// which is always a caller bug in this codebase.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	// Lagrange: a^(q-2) = a^{-1} in GF(q).
+	return f.Pow(a, f.q-2)
+}
+
+// Pow returns a^e (e >= 0) in the field.
+func (f *Field) Pow(a, e int) int {
+	result := 1
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// digits returns the base-p digit expansion of a (little-endian).
+func (f *Field) digits(a int) []int {
+	out := make([]int, f.k)
+	for i := 0; i < f.k; i++ {
+		out[i] = a % f.p
+		a /= f.p
+	}
+	return out
+}
+
+func (f *Field) fromDigits(d []int) int {
+	res := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		res = res*f.p + d[i]%f.p
+	}
+	return res
+}
+
+// reduce reduces a little-endian coefficient slice modulo the irreducible
+// polynomial, returning k coefficients.
+func (f *Field) reduce(poly []int) []int {
+	for deg := len(poly) - 1; deg >= f.k; deg-- {
+		c := poly[deg] % f.p
+		if c == 0 {
+			continue
+		}
+		// poly -= c * x^(deg-k) * irred
+		for i, ic := range f.irred {
+			idx := deg - f.k + i
+			poly[idx] = ((poly[idx]-c*ic)%f.p + f.p*f.p) % f.p
+		}
+	}
+	out := make([]int, f.k)
+	copy(out, poly[:min(f.k, len(poly))])
+	for i := range out {
+		out[i] %= f.p
+	}
+	return out
+}
+
+// primePower factors q as p^k for prime p, if possible.
+func primePower(q int) (p, k int, ok bool) {
+	for p = 2; p*p <= q; p++ {
+		if q%p != 0 {
+			continue
+		}
+		k = 0
+		for rest := q; rest > 1; rest /= p {
+			if rest%p != 0 {
+				return 0, 0, false
+			}
+			k++
+		}
+		return p, k, true
+	}
+	return q, 1, true // q itself is prime
+}
+
+// findIrreducible searches for a monic irreducible polynomial of degree k
+// over GF(p) by trial division against all monic polynomials of degree
+// <= k/2.
+func findIrreducible(p, k int) ([]int, error) {
+	total := pow(p, k)
+	for tail := 0; tail < total; tail++ {
+		// Candidate: x^k + (digits of tail), monic.
+		cand := make([]int, k+1)
+		t := tail
+		for i := 0; i < k; i++ {
+			cand[i] = t % p
+			t /= p
+		}
+		cand[k] = 1
+		if cand[0] == 0 {
+			continue // divisible by x
+		}
+		if isIrreducible(cand, p) {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("gf: no irreducible polynomial of degree %d over GF(%d)", k, p)
+}
+
+// isIrreducible tests a monic polynomial (little-endian, degree =
+// len(poly)-1) for irreducibility over GF(p) by trial division.
+func isIrreducible(poly []int, p int) bool {
+	k := len(poly) - 1
+	for d := 1; 2*d <= k; d++ {
+		// All monic divisor candidates of degree d.
+		for tail := 0; tail < pow(p, d); tail++ {
+			div := make([]int, d+1)
+			t := tail
+			for i := 0; i < d; i++ {
+				div[i] = t % p
+				t /= p
+			}
+			div[d] = 1
+			if polyDivides(div, poly, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyDivides reports whether monic divisor div divides poly over GF(p).
+func polyDivides(div, poly []int, p int) bool {
+	rem := make([]int, len(poly))
+	copy(rem, poly)
+	dd := len(div) - 1
+	for deg := len(rem) - 1; deg >= dd; deg-- {
+		c := rem[deg] % p
+		if c == 0 {
+			continue
+		}
+		for i, dc := range div {
+			idx := deg - dd + i
+			rem[idx] = ((rem[idx]-c*dc)%p + p*p) % p
+		}
+	}
+	for _, c := range rem[:dd] {
+		if c%p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

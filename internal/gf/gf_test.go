@@ -1,0 +1,146 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidOrders(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 11, 16, 25, 27, 49} {
+		f, err := New(q)
+		if err != nil {
+			t.Errorf("New(%d): %v", q, err)
+			continue
+		}
+		if f.Order() != q {
+			t.Errorf("Order = %d, want %d", f.Order(), q)
+		}
+	}
+}
+
+func TestNewInvalidOrders(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 15, 100, 1 << 20} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) should fail", q)
+		}
+	}
+}
+
+func TestPrimeFieldArithmetic(t *testing.T) {
+	f, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Add(5, 4); got != 2 {
+		t.Errorf("5+4 = %d mod 7, want 2", got)
+	}
+	if got := f.Mul(3, 5); got != 1 {
+		t.Errorf("3*5 = %d mod 7, want 1", got)
+	}
+	if got := f.Inv(3); got != 5 {
+		t.Errorf("inv(3) = %d mod 7, want 5", got)
+	}
+	if got := f.Neg(2); got != 5 {
+		t.Errorf("-2 = %d mod 7, want 5", got)
+	}
+	if got := f.Sub(1, 3); got != 5 {
+		t.Errorf("1-3 = %d mod 7, want 5", got)
+	}
+	if got := f.Pow(3, 6); got != 1 { // Fermat
+		t.Errorf("3^6 = %d mod 7, want 1", got)
+	}
+}
+
+// fieldAxioms checks the field axioms exhaustively for small orders.
+func fieldAxioms(t *testing.T, q int) {
+	t.Helper()
+	f, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < q; a++ {
+		if got := f.Add(a, 0); got != a {
+			t.Fatalf("q=%d: a+0 = %d, want %d", q, got, a)
+		}
+		if got := f.Mul(a, 1); got != a {
+			t.Fatalf("q=%d: a*1 = %d, want %d", q, got, a)
+		}
+		if got := f.Add(a, f.Neg(a)); got != 0 {
+			t.Fatalf("q=%d: a+(-a) = %d, want 0", q, got)
+		}
+		if a != 0 {
+			if got := f.Mul(a, f.Inv(a)); got != 1 {
+				t.Fatalf("q=%d: a*inv(a) = %d for a=%d, want 1", q, got, a)
+			}
+		}
+		for b := 0; b < q; b++ {
+			if f.Add(a, b) != f.Add(b, a) || f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("q=%d: commutativity broken at (%d,%d)", q, a, b)
+			}
+			for c := 0; c < q; c++ {
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("q=%d: distributivity broken at (%d,%d,%d)", q, a, b, c)
+				}
+				if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+					t.Fatalf("q=%d: associativity broken at (%d,%d,%d)", q, a, b, c)
+				}
+			}
+		}
+	}
+	// Multiplicative group has order q-1: no zero divisors.
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if f.Mul(a, b) == 0 {
+				t.Fatalf("q=%d: zero divisor %d*%d", q, a, b)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsGF4(t *testing.T)  { fieldAxioms(t, 4) }
+func TestFieldAxiomsGF8(t *testing.T)  { fieldAxioms(t, 8) }
+func TestFieldAxiomsGF9(t *testing.T)  { fieldAxioms(t, 9) }
+func TestFieldAxiomsGF16(t *testing.T) { fieldAxioms(t, 16) }
+func TestFieldAxiomsGF25(t *testing.T) { fieldAxioms(t, 25) }
+func TestFieldAxiomsGF27(t *testing.T) { fieldAxioms(t, 27) }
+
+func TestPrimePower(t *testing.T) {
+	tests := []struct {
+		q, p, k int
+		ok      bool
+	}{
+		{2, 2, 1, true}, {4, 2, 2, true}, {8, 2, 3, true}, {9, 3, 2, true},
+		{27, 3, 3, true}, {49, 7, 2, true}, {121, 11, 2, true},
+		{6, 0, 0, false}, {12, 0, 0, false}, {36, 0, 0, false},
+		{97, 97, 1, true},
+	}
+	for _, tt := range tests {
+		p, k, ok := primePower(tt.q)
+		if ok != tt.ok {
+			t.Errorf("primePower(%d) ok = %v, want %v", tt.q, ok, tt.ok)
+			continue
+		}
+		if ok && (p != tt.p || k != tt.k) {
+			t.Errorf("primePower(%d) = %d^%d, want %d^%d", tt.q, p, k, tt.p, tt.k)
+		}
+	}
+}
+
+func TestQuickPowMatchesRepeatedMul(t *testing.T) {
+	f, err := New(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, e uint8) bool {
+		av := int(a) % 27
+		ev := int(e) % 40
+		want := 1
+		for i := 0; i < ev; i++ {
+			want = f.Mul(want, av)
+		}
+		return f.Pow(av, ev) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package girth computes the (unweighted) girth of graphs — the minimum
+// number of edges on any cycle — and provides the Moore bound reference
+// curve b(n,k) used throughout the paper's size statements.
+//
+// Cycles are always measured in edge count, matching the paper's definition
+// of blocking sets and of b(n,k) (weights play no role in girth).
+package girth
+
+import (
+	"math"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// Acyclic is returned by Girth for forests (no cycle at all). It compares
+// greater than any real girth, so `Girth(g) > k` reads naturally.
+const Acyclic = math.MaxInt
+
+// Girth returns the length (edge count) of a shortest cycle in g, or Acyclic
+// if g is a forest.
+//
+// The algorithm is the standard one: a BFS from every vertex; every non-tree
+// edge (x,y) with both endpoints reached witnesses a closed walk of length
+// hops(x)+hops(y)+1 through the source, which always contains a cycle at
+// most that long, and for a source on a shortest cycle the estimate is
+// exact. O(n·m) total, with BFS depth capped as the best estimate improves.
+func Girth(g *graph.Graph) int {
+	return girthBounded(g, Acyclic)
+}
+
+// HasCycleAtMost reports whether g contains a cycle with at most maxLen
+// edges (i.e. whether Girth(g) <= maxLen). The depth of each BFS is capped
+// by maxLen, so this is cheaper than a full Girth call on high-girth graphs.
+func HasCycleAtMost(g *graph.Graph, maxLen int) bool {
+	if maxLen < 3 {
+		return false
+	}
+	return girthBounded(g, maxLen) <= maxLen
+}
+
+// girthBounded returns the exact girth if it is <= limit, and otherwise any
+// value > limit (Acyclic if no cycle was seen at all within the depth caps).
+func girthBounded(g *graph.Graph, limit int) int {
+	n := g.NumVertices()
+	best := Acyclic
+	hops := make([]int, n)
+	parentEdge := make([]int, n)
+	queue := make([]int, 0, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	touched := make([]int, 0, n)
+
+	for src := 0; src < n; src++ {
+		if best == 3 {
+			return best // girth can never be smaller
+		}
+		// Cycles shorter than best must close within this depth of src;
+		// when only cycles up to limit matter, cap the depth further.
+		maxDepth := (best - 1) / 2
+		if lim := (limit + 1) / 2; limit < best-1 && lim < maxDepth {
+			maxDepth = lim
+		}
+
+		for _, v := range touched {
+			hops[v] = -1
+		}
+		touched = touched[:0]
+		queue = queue[:0]
+
+		hops[src] = 0
+		parentEdge[src] = -1
+		touched = append(touched, src)
+		queue = append(queue, src)
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			for _, arc := range g.Neighbors(x) {
+				y := arc.To
+				if hops[y] == -1 {
+					if hops[x] >= maxDepth {
+						continue
+					}
+					hops[y] = hops[x] + 1
+					parentEdge[y] = arc.ID
+					touched = append(touched, y)
+					queue = append(queue, y)
+					continue
+				}
+				// Non-tree edge between two reached vertices: closed walk.
+				if parentEdge[x] == arc.ID || parentEdge[y] == arc.ID {
+					continue
+				}
+				if c := hops[x] + hops[y] + 1; c < best {
+					best = c
+				}
+			}
+		}
+	}
+	return best
+}
+
+// MooreBound returns the folklore Moore bound on b(n,k): the maximum number
+// of edges of an n-vertex graph with girth > k is O(n^{1+1/⌊k/2⌋}). The
+// returned value is the expression n^{1+1/⌊k/2⌋} + n (a valid upper bound up
+// to the constant the paper's O(·) hides); experiments use it as the
+// reference curve for exponent fits.
+func MooreBound(n, k int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if k < 2 {
+		// Girth > 1 excludes nothing in a simple graph.
+		return float64(n) * float64(n-1) / 2
+	}
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	return math.Pow(float64(n), 1+1/float64(half)) + float64(n)
+}
+
+// MooreExponent returns the exponent 1 + 1/⌊k/2⌋ of the Moore bound, the
+// slope experiments E2/E10 compare against on a log-log plot.
+func MooreExponent(k int) float64 {
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	return 1 + 1/float64(half)
+}

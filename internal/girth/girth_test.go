@@ -1,0 +1,220 @@
+package girth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+func cycleGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+func completeGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+func petersen() *graph.Graph {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(i, (i+1)%5, 1)     // outer C5
+		g.MustAddEdge(5+i, 5+(i+2)%5, 1) // inner pentagram
+		g.MustAddEdge(i, 5+i, 1)         // spokes
+	}
+	return g
+}
+
+func TestGirthKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{name: "triangle", g: cycleGraph(3), want: 3},
+		{name: "C4", g: cycleGraph(4), want: 4},
+		{name: "C5", g: cycleGraph(5), want: 5},
+		{name: "C17", g: cycleGraph(17), want: 17},
+		{name: "K4", g: completeGraph(4), want: 3},
+		{name: "K7", g: completeGraph(7), want: 3},
+		{name: "petersen", g: petersen(), want: 5},
+		{name: "empty", g: graph.New(5), want: Acyclic},
+		{name: "single edge", g: pathGraph(2), want: Acyclic},
+		{name: "path", g: pathGraph(8), want: Acyclic},
+		{name: "K33", g: completeBipartite(3, 3), want: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Girth(tt.g); got != tt.want {
+				t.Errorf("Girth = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func completeBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.MustAddEdge(i, a+j, 1)
+		}
+	}
+	return g
+}
+
+func TestGirthTwoDisjointCycles(t *testing.T) {
+	// C7 plus a disjoint C4: girth is 4.
+	g := graph.New(11)
+	for i := 0; i < 7; i++ {
+		g.MustAddEdge(i, (i+1)%7, 1)
+	}
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(7+i, 7+(i+1)%4, 1)
+	}
+	if got := Girth(g); got != 4 {
+		t.Errorf("Girth = %d, want 4", got)
+	}
+}
+
+func TestGirthIgnoresWeights(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 100)
+	g.MustAddEdge(1, 2, 0.001)
+	g.MustAddEdge(0, 2, 5)
+	if got := Girth(g); got != 3 {
+		t.Errorf("Girth = %d, want 3 (weights must not matter)", got)
+	}
+}
+
+func TestHasCycleAtMost(t *testing.T) {
+	c6 := cycleGraph(6)
+	if HasCycleAtMost(c6, 5) {
+		t.Error("C6 has no cycle of length <= 5")
+	}
+	if !HasCycleAtMost(c6, 6) {
+		t.Error("C6 has a cycle of length 6")
+	}
+	if !HasCycleAtMost(c6, 100) {
+		t.Error("C6 has a cycle of length <= 100")
+	}
+	if HasCycleAtMost(c6, 2) {
+		t.Error("maxLen < 3 can never hold")
+	}
+	if HasCycleAtMost(pathGraph(5), 10) {
+		t.Error("paths have no cycles")
+	}
+}
+
+// bruteGirth enumerates all simple cycles by DFS (exponential; tiny graphs
+// only) and returns the minimum length.
+func bruteGirth(g *graph.Graph) int {
+	n := g.NumVertices()
+	best := Acyclic
+	onPath := make([]bool, n)
+	var path []int
+	var dfs func(start, cur int)
+	dfs = func(start, cur int) {
+		for _, arc := range g.Neighbors(cur) {
+			next := arc.To
+			if next == start && len(path) >= 3 {
+				if len(path) < best {
+					best = len(path)
+				}
+				continue
+			}
+			if next <= start || onPath[next] {
+				continue
+			}
+			onPath[next] = true
+			path = append(path, next)
+			dfs(start, next)
+			path = path[:len(path)-1]
+			onPath[next] = false
+		}
+	}
+	for s := 0; s < n; s++ {
+		onPath[s] = true
+		path = append(path[:0], s)
+		dfs(s, s)
+		onPath[s] = false
+	}
+	return best
+}
+
+func TestQuickGirthMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(9)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					g.MustAddEdge(u, v, 1)
+				}
+			}
+		}
+		return Girth(g) == bruteGirth(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMooreBound(t *testing.T) {
+	// k=2,3 -> exponent 2; k=4,5 -> 1.5; k=6,7 -> 4/3.
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{2, 2}, {3, 2}, {4, 1.5}, {5, 1.5}, {6, 4.0 / 3}, {7, 4.0 / 3},
+	}
+	for _, tt := range tests {
+		if got := MooreExponent(tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("MooreExponent(%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+	if got := MooreBound(100, 3); got != math.Pow(100, 2)+100 {
+		t.Errorf("MooreBound(100,3) = %v", got)
+	}
+	if got := MooreBound(10, 1); got != 45 {
+		t.Errorf("MooreBound(10,1) = %v, want 45 (=K10 edges)", got)
+	}
+	if got := MooreBound(0, 5); got != 0 {
+		t.Errorf("MooreBound(0,5) = %v, want 0", got)
+	}
+	// The bound must actually dominate the densest girth>k graphs we can
+	// name: C5 has girth 5 > 4, so b(5,4) >= 5.
+	if MooreBound(5, 4) < 5 {
+		t.Error("MooreBound(5,4) too small")
+	}
+}
+
+func BenchmarkGirthPetersenLike(b *testing.B) {
+	g := petersen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Girth(g) != 5 {
+			b.Fatal("wrong girth")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the graph parser: it must never
+// panic, and anything it accepts must re-encode and re-parse to an
+// identical graph (a full round-trip invariant on the accepted language).
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"p 3 2\ne 0 1 1\ne 1 2 0.5\n",
+		"p 0 0\n",
+		"# comment\np 2 1\ne 0 1 2\n",
+		"p 2 1\ne 0 1 1e300\n",
+		"p 2 1\ne 0 1 nan\n",
+		"p -1 0\n",
+		"e 0 1 1\n",
+		"p 2 1\ne 0 0 1\n",
+		"p 99999999999999999999 0\n",
+		strings.Repeat("p 1 0\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		g2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g, g2)
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if g.Edge(i) != g2.Edge(i) {
+				t.Fatalf("round trip changed edge %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,229 @@
+// Package graph implements the weighted undirected simple graph that every
+// other package in this repository builds on.
+//
+// Vertices are dense integers 0..NumVertices()-1 and edges carry stable
+// integer IDs 0..NumEdges()-1 assigned in insertion order. Stable edge IDs
+// matter: fault sets, blocking-set pairs and spanner membership all refer to
+// edges by ID, including across the subgraph operations in ops.go (which
+// report ID mappings).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is an undirected weighted edge. U < V is not guaranteed; use
+// Endpoints for a normalized pair.
+type Edge struct {
+	ID     int
+	U, V   int
+	Weight float64
+}
+
+// Endpoints returns the edge's endpoints with the smaller vertex first.
+func (e Edge) Endpoints() (int, int) {
+	if e.U <= e.V {
+		return e.U, e.V
+	}
+	return e.V, e.U
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint, which always indicates a bug in the caller.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %d=(%d,%d)", x, e.ID, e.U, e.V))
+}
+
+// Arc is one direction of an edge as stored in adjacency lists.
+type Arc struct {
+	To     int     // head vertex
+	ID     int     // edge ID
+	Weight float64 // edge weight (duplicated from the edge for cache locality)
+}
+
+// Graph is a weighted undirected simple graph. The zero value is an empty
+// graph with no vertices; most callers use New.
+//
+// Graph is not safe for concurrent mutation; concurrent reads are fine.
+type Graph struct {
+	edges []Edge
+	adj   [][]Arc
+	index map[[2]int]int // normalized endpoint pair -> edge ID
+}
+
+// Errors returned by mutating operations.
+var (
+	ErrSelfLoop       = errors.New("graph: self-loops are not allowed")
+	ErrParallelEdge   = errors.New("graph: parallel edges are not allowed")
+	ErrVertexRange    = errors.New("graph: vertex out of range")
+	ErrNonPositiveWgt = errors.New("graph: edge weight must be positive and finite")
+)
+
+// New returns an empty graph on n isolated vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		adj:   make([][]Arc, n),
+		index: make(map[[2]int]int),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddVertex appends a new isolated vertex and returns its ID.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge (u, v) with weight w and returns its
+// ID. Self-loops, parallel edges, out-of-range endpoints and non-positive or
+// non-finite weights are rejected.
+func (g *Graph) AddEdge(u, v int, w float64) (int, error) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return 0, fmt.Errorf("%w: (%d,%d) with %d vertices", ErrVertexRange, u, v, len(g.adj))
+	}
+	if u == v {
+		return 0, fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return 0, fmt.Errorf("%w: %v", ErrNonPositiveWgt, w)
+	}
+	key := normPair(u, v)
+	if _, dup := g.index[key]; dup {
+		return 0, fmt.Errorf("%w: (%d,%d)", ErrParallelEdge, u, v)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, Weight: w})
+	g.adj[u] = append(g.adj[u], Arc{To: v, ID: id, Weight: w})
+	g.adj[v] = append(g.adj[v], Arc{To: u, ID: id, Weight: w})
+	g.index[key] = id
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for construction code where the inputs are known
+// valid (generators, tests). It panics on error.
+func (g *Graph) MustAddEdge(u, v int, w float64) int {
+	id, err := g.AddEdge(u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns a copy of the edge list, ordered by ID.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// EdgesByWeight returns the edge list sorted by increasing weight, breaking
+// ties by edge ID so the order is deterministic. This is the processing
+// order of every greedy algorithm in the repository.
+func (g *Graph) EdgesByWeight() []Edge {
+	out := g.Edges()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight < out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified; it is valid until the next mutation.
+func (g *Graph) Neighbors(v int) []Arc { return g.adj[v] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// HasEdge reports whether an edge joins u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.EdgeBetween(u, v)
+	return ok
+}
+
+// EdgeBetween returns the edge joining u and v, if any.
+func (g *Graph) EdgeBetween(u, v int) (Edge, bool) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) || u == v {
+		return Edge{}, false
+	}
+	id, ok := g.index[normPair(u, v)]
+	if !ok {
+		return Edge{}, false
+	}
+	return g.edges[id], true
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var sum float64
+	for _, e := range g.edges {
+		sum += e.Weight
+	}
+	return sum
+}
+
+// MaxDegree returns the largest vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		edges: make([]Edge, len(g.edges)),
+		adj:   make([][]Arc, len(g.adj)),
+		index: make(map[[2]int]int, len(g.index)),
+	}
+	copy(c.edges, g.edges)
+	for v := range g.adj {
+		if len(g.adj[v]) == 0 {
+			continue
+		}
+		c.adj[v] = make([]Arc, len(g.adj[v]))
+		copy(c.adj[v], g.adj[v])
+	}
+	for k, v := range g.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.NumVertices(), g.NumEdges())
+}
+
+func normPair(u, v int) [2]int {
+	if u <= v {
+		return [2]int{u, v}
+	}
+	return [2]int{v, u}
+}

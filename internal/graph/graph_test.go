@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := New(5)
+	if g.NumVertices() != 5 {
+		t.Errorf("NumVertices() = %d, want 5", g.NumVertices())
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges() = %d, want 0", g.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", v, g.Degree(v))
+		}
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	g := New(-3)
+	if g.NumVertices() != 0 {
+		t.Errorf("New(-3).NumVertices() = %d, want 0", g.NumVertices())
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	id, err := g.AddEdge(0, 1, 2.5)
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if id != 0 {
+		t.Errorf("first edge ID = %d, want 0", id)
+	}
+	e := g.Edge(id)
+	if e.U != 0 || e.V != 1 || e.Weight != 2.5 {
+		t.Errorf("Edge(0) = %+v", e)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) = true, want false")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Error("degrees wrong after one edge")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+
+	tests := []struct {
+		name    string
+		u, v    int
+		w       float64
+		wantErr error
+	}{
+		{name: "self loop", u: 1, v: 1, w: 1, wantErr: ErrSelfLoop},
+		{name: "parallel", u: 1, v: 0, w: 2, wantErr: ErrParallelEdge},
+		{name: "u out of range", u: -1, v: 0, w: 1, wantErr: ErrVertexRange},
+		{name: "v out of range", u: 0, v: 3, w: 1, wantErr: ErrVertexRange},
+		{name: "zero weight", u: 0, v: 2, w: 0, wantErr: ErrNonPositiveWgt},
+		{name: "negative weight", u: 0, v: 2, w: -1, wantErr: ErrNonPositiveWgt},
+		{name: "inf weight", u: 0, v: 2, w: math.Inf(1), wantErr: ErrNonPositiveWgt},
+		{name: "nan weight", u: 0, v: 2, w: math.NaN(), wantErr: ErrNonPositiveWgt},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := g.AddEdge(tt.u, tt.v, tt.w); !errors.Is(err, tt.wantErr) {
+				t.Errorf("AddEdge(%d,%d,%v) error = %v, want %v", tt.u, tt.v, tt.w, err, tt.wantErr)
+			}
+		})
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("failed inserts mutated the graph: m = %d", g.NumEdges())
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.NumVertices() != 3 {
+		t.Errorf("AddVertex() = %d (n=%d), want 2 (n=3)", v, g.NumVertices())
+	}
+	if _, err := g.AddEdge(0, v, 1); err != nil {
+		t.Errorf("edge to new vertex: %v", err)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{ID: 0, U: 3, V: 7, Weight: 1}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Error("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other on non-endpoint should panic")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestEndpointsNormalized(t *testing.T) {
+	e := Edge{U: 9, V: 2}
+	a, b := e.Endpoints()
+	if a != 2 || b != 9 {
+		t.Errorf("Endpoints() = (%d,%d), want (2,9)", a, b)
+	}
+}
+
+func TestEdgesByWeight(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 2)
+	g.MustAddEdge(0, 3, 1) // tie with edge 1; ID order breaks it
+	got := g.EdgesByWeight()
+	wantIDs := []int{1, 3, 2, 0}
+	for i, e := range got {
+		if e.ID != wantIDs[i] {
+			t.Fatalf("EdgesByWeight order = %v, want IDs %v", got, wantIDs)
+		}
+	}
+}
+
+func TestEdgesReturnsCopy(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	edges := g.Edges()
+	edges[0].Weight = 99
+	if g.Edge(0).Weight != 1 {
+		t.Error("mutating Edges() result changed the graph")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 2)
+	arcs := g.Neighbors(0)
+	if len(arcs) != 2 {
+		t.Fatalf("len(Neighbors(0)) = %d, want 2", len(arcs))
+	}
+	seen := map[int]float64{}
+	for _, a := range arcs {
+		seen[a.To] = a.Weight
+	}
+	if seen[1] != 1 || seen[2] != 2 {
+		t.Errorf("Neighbors(0) = %v", arcs)
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := New(3)
+	id := g.MustAddEdge(2, 0, 5)
+	e, ok := g.EdgeBetween(0, 2)
+	if !ok || e.ID != id || e.Weight != 5 {
+		t.Errorf("EdgeBetween(0,2) = %+v, %v", e, ok)
+	}
+	if _, ok := g.EdgeBetween(0, 0); ok {
+		t.Error("EdgeBetween(v,v) should be false")
+	}
+	if _, ok := g.EdgeBetween(-1, 2); ok {
+		t.Error("EdgeBetween out of range should be false")
+	}
+}
+
+func TestTotalWeightAndMaxDegree(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1.5)
+	g.MustAddEdge(0, 2, 2.5)
+	g.MustAddEdge(0, 3, 3)
+	if got := g.TotalWeight(); got != 7 {
+		t.Errorf("TotalWeight() = %v, want 7", got)
+	}
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree() = %d, want 3", got)
+	}
+	if got := New(0).MaxDegree(); got != 0 {
+		t.Errorf("empty MaxDegree() = %d, want 0", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2, 2)
+	if g.NumEdges() != 1 {
+		t.Error("mutating clone changed original edge count")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone changed original adjacency")
+	}
+	g.MustAddEdge(0, 2, 3)
+	if c.HasEdge(0, 2) {
+		t.Error("mutating original changed clone")
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	if got := g.String(); got != "graph{n=2 m=1}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestQuickAdjacencyConsistency checks, on random graphs, that the edge
+// list, the adjacency lists and the endpoint index all agree.
+func TestQuickAdjacencyConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for tries := 0; tries < 3*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			w := 1 + rng.Float64()
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, w)
+		}
+		// Each edge appears exactly once in each endpoint's adjacency.
+		degSum := 0
+		for v := 0; v < n; v++ {
+			degSum += g.Degree(v)
+			for _, a := range g.Neighbors(v) {
+				e := g.Edge(a.ID)
+				if e.Other(v) != a.To || e.Weight != a.Weight {
+					return false
+				}
+				got, ok := g.EdgeBetween(v, a.To)
+				if !ok || got.ID != a.ID {
+					return false
+				}
+			}
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the graph in a simple line-oriented text format:
+//
+//	p <numVertices> <numEdges>
+//	e <u> <v> <weight>    (one line per edge, in edge-ID order)
+//
+// Lines starting with '#' are comments. The format round-trips exactly
+// through Decode, including edge IDs (which are assigned in line order).
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V, strconv.FormatFloat(e.Weight, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a graph in the format produced by Encode.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		g       *Graph
+		lineNum int
+		edges   int
+	)
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", lineNum)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: header needs 2 fields, got %d", lineNum, len(fields)-1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count: %w", lineNum, err)
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge count: %w", lineNum, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative counts", lineNum)
+			}
+			g = New(n)
+			edges = m
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", lineNum)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge needs 3 fields, got %d", lineNum, len(fields)-1)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %w", lineNum, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %w", lineNum, err)
+			}
+			wgt, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNum, err)
+			}
+			if _, err := g.AddEdge(u, v, wgt); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNum, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNum, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if g.NumEdges() != edges {
+		return nil, fmt.Errorf("graph: header promised %d edges, found %d", edges, g.NumEdges())
+	}
+	return g, nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1.5)
+	g.MustAddEdge(1, 2, 0.25)
+	g.MustAddEdge(3, 0, 7)
+
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.NumVertices() != 4 || got.NumEdges() != 3 {
+		t.Fatalf("round trip n=%d m=%d", got.NumVertices(), got.NumEdges())
+	}
+	for i := 0; i < 3; i++ {
+		a, b := g.Edge(i), got.Edge(i)
+		if a != b {
+			t.Errorf("edge %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestDecodeCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\np 3 1\n# another\ne 0 2 1.5\n"
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 1 {
+		t.Errorf("n=%d m=%d, want 3, 1", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty", in: ""},
+		{name: "no header", in: "e 0 1 1\n"},
+		{name: "double header", in: "p 2 0\np 2 0\n"},
+		{name: "short header", in: "p 2\n"},
+		{name: "bad vertex count", in: "p x 0\n"},
+		{name: "bad edge count", in: "p 2 x\n"},
+		{name: "negative counts", in: "p -1 0\n"},
+		{name: "short edge", in: "p 2 1\ne 0 1\n"},
+		{name: "bad endpoint", in: "p 2 1\ne a 1 1\n"},
+		{name: "bad endpoint 2", in: "p 2 1\ne 0 b 1\n"},
+		{name: "bad weight", in: "p 2 1\ne 0 1 w\n"},
+		{name: "edge out of range", in: "p 2 1\ne 0 5 1\n"},
+		{name: "self loop", in: "p 2 1\ne 1 1 1\n"},
+		{name: "count mismatch", in: "p 2 2\ne 0 1 1\n"},
+		{name: "unknown record", in: "p 2 0\nq 1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("Decode(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestEncodeEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(0).Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	g, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Error("empty graph did not round-trip")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		g := New(n)
+		for tries := 0; tries < 3*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, rng.Float64()+0.001)
+		}
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if g.Edge(i) != got.Edge(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

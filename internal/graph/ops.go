@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+)
+
+// Mapping relates a derived graph's vertices and edges back to the graph it
+// was built from. VertexTo[newV] = oldV and EdgeTo[newE] = oldE.
+type Mapping struct {
+	VertexTo []int
+	EdgeTo   []int
+}
+
+// InducedSubgraph returns the subgraph induced on the given vertices (in the
+// given order: new vertex i corresponds to vertices[i]) together with the
+// mapping back to g. Duplicate or out-of-range vertices are an error.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, *Mapping, error) {
+	newID := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.NumVertices() {
+			return nil, nil, fmt.Errorf("%w: %d", ErrVertexRange, v)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced subgraph", v)
+		}
+		newID[v] = i
+	}
+	sub := New(len(vertices))
+	m := &Mapping{VertexTo: append([]int(nil), vertices...)}
+	for _, e := range g.edges {
+		nu, okU := newID[e.U]
+		nv, okV := newID[e.V]
+		if !okU || !okV {
+			continue
+		}
+		sub.MustAddEdge(nu, nv, e.Weight)
+		m.EdgeTo = append(m.EdgeTo, e.ID)
+	}
+	return sub, m, nil
+}
+
+// FilterEdges returns a graph on the same vertex set containing exactly the
+// edges for which keep returns true, with the mapping back to g.
+func (g *Graph) FilterEdges(keep func(Edge) bool) (*Graph, *Mapping) {
+	out := New(g.NumVertices())
+	m := &Mapping{VertexTo: identity(g.NumVertices())}
+	for _, e := range g.edges {
+		if !keep(e) {
+			continue
+		}
+		out.MustAddEdge(e.U, e.V, e.Weight)
+		m.EdgeTo = append(m.EdgeTo, e.ID)
+	}
+	return out, m
+}
+
+// DeleteEdges returns a copy of g without the edges whose IDs are in the
+// given set, plus the edge-ID mapping back to g.
+func (g *Graph) DeleteEdges(ids *bitset.Set) (*Graph, *Mapping) {
+	return g.FilterEdges(func(e Edge) bool { return !ids.Contains(e.ID) })
+}
+
+// DeleteVertices returns the subgraph induced on the vertices NOT in the
+// given set (renumbered), plus the mapping back to g.
+func (g *Graph) DeleteVertices(del *bitset.Set) (*Graph, *Mapping) {
+	var keep []int
+	for v := 0; v < g.NumVertices(); v++ {
+		if !del.Contains(v) {
+			keep = append(keep, v)
+		}
+	}
+	sub, m, err := g.InducedSubgraph(keep)
+	if err != nil {
+		// Unreachable: keep is a subset of valid vertices with no duplicates.
+		panic(err)
+	}
+	return sub, m
+}
+
+// Union returns a graph on the same vertex set as a containing every edge of
+// a and b, de-duplicated by endpoints (the first occurrence wins; a's edges
+// are inserted first). Both graphs must have the same vertex count.
+func Union(a, b *Graph) (*Graph, error) {
+	if a.NumVertices() != b.NumVertices() {
+		return nil, fmt.Errorf("graph: union of graphs with %d and %d vertices", a.NumVertices(), b.NumVertices())
+	}
+	out := New(a.NumVertices())
+	for _, e := range a.edges {
+		out.MustAddEdge(e.U, e.V, e.Weight)
+	}
+	for _, e := range b.edges {
+		if !out.HasEdge(e.U, e.V) {
+			out.MustAddEdge(e.U, e.V, e.Weight)
+		}
+	}
+	return out, nil
+}
+
+// CartesianProduct returns the Cartesian product a □ b: vertices are pairs
+// (x, y) numbered x*b.NumVertices()+y; (x,y)-(x',y) is an edge when (x,x') is
+// an edge of a (with a's weight), and (x,y)-(x,y') when (y,y') is an edge of
+// b (with b's weight). This is the product used by the BDPW lower-bound
+// construction.
+func CartesianProduct(a, b *Graph) *Graph {
+	na, nb := a.NumVertices(), b.NumVertices()
+	out := New(na * nb)
+	id := func(x, y int) int { return x*nb + y }
+	for _, e := range a.edges {
+		for y := 0; y < nb; y++ {
+			out.MustAddEdge(id(e.U, y), id(e.V, y), e.Weight)
+		}
+	}
+	for _, e := range b.edges {
+		for x := 0; x < na; x++ {
+			out.MustAddEdge(id(x, e.U), id(x, e.V), e.Weight)
+		}
+	}
+	return out
+}
+
+// Blowup returns the balanced blow-up g^(t): every vertex v becomes t
+// copies (v,0..t-1), numbered v*t+i, and every edge (u,v) becomes the
+// complete bipartite graph between u's copies and v's copies (t² edges,
+// each with the original weight). Copies of one vertex are NOT adjacent.
+// This is the lower-bound construction of Bodwin–Dinitz–Parter–Williams
+// that certifies the optimality of the paper's Theorem 1.
+func Blowup(g *Graph, t int) *Graph {
+	if t < 1 {
+		t = 1
+	}
+	out := New(g.NumVertices() * t)
+	for _, e := range g.edges {
+		for i := 0; i < t; i++ {
+			for j := 0; j < t; j++ {
+				out.MustAddEdge(e.U*t+i, e.V*t+j, e.Weight)
+			}
+		}
+	}
+	return out
+}
+
+// ConnectedComponents labels each vertex with a component number in
+// [0, count) and returns the labels and the component count. Labels are
+// assigned in order of the smallest vertex in each component.
+func (g *Graph) ConnectedComponents() (labels []int, count int) {
+	n := g.NumVertices()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []int
+	for v := 0; v < n; v++ {
+		if labels[v] != -1 {
+			continue
+		}
+		labels[v] = count
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, arc := range g.adj[x] {
+				if labels[arc.To] == -1 {
+					labels[arc.To] = count
+					stack = append(stack, arc.To)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// IsConnected reports whether the graph has at most one connected component.
+func (g *Graph) IsConnected() bool {
+	_, c := g.ConnectedComponents()
+	return c <= 1
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+)
+
+// triangle returns K3 with weights 1, 2, 3 on edges (0,1), (1,2), (0,2).
+func triangle() *Graph {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 2, 3)
+	return g
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := triangle()
+	sub, m, err := g.InducedSubgraph([]int{2, 0})
+	if err != nil {
+		t.Fatalf("InducedSubgraph: %v", err)
+	}
+	if sub.NumVertices() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("sub = %v, want n=2 m=1", sub)
+	}
+	// New vertex 0 is old 2, new vertex 1 is old 0; the surviving edge is
+	// old edge 2 = (0,2) with weight 3.
+	if m.VertexTo[0] != 2 || m.VertexTo[1] != 0 {
+		t.Errorf("VertexTo = %v", m.VertexTo)
+	}
+	if len(m.EdgeTo) != 1 || m.EdgeTo[0] != 2 {
+		t.Errorf("EdgeTo = %v, want [2]", m.EdgeTo)
+	}
+	if sub.Edge(0).Weight != 3 {
+		t.Errorf("surviving edge weight = %v, want 3", sub.Edge(0).Weight)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := triangle()
+	if _, _, err := g.InducedSubgraph([]int{0, 3}); err == nil {
+		t.Error("out-of-range vertex should error")
+	}
+	if _, _, err := g.InducedSubgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate vertex should error")
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := triangle()
+	sub, m := g.FilterEdges(func(e Edge) bool { return e.Weight < 3 })
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("filter result %v, want n=3 m=2", sub)
+	}
+	if len(m.EdgeTo) != 2 || m.EdgeTo[0] != 0 || m.EdgeTo[1] != 1 {
+		t.Errorf("EdgeTo = %v, want [0 1]", m.EdgeTo)
+	}
+}
+
+func TestDeleteEdges(t *testing.T) {
+	g := triangle()
+	del := bitset.FromSlice(g.NumEdges(), []int{1})
+	sub, m := g.DeleteEdges(del)
+	if sub.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2", sub.NumEdges())
+	}
+	for _, old := range m.EdgeTo {
+		if old == 1 {
+			t.Error("deleted edge survived")
+		}
+	}
+	// nil set deletes nothing.
+	all, _ := g.DeleteEdges(nil)
+	if all.NumEdges() != 3 {
+		t.Errorf("DeleteEdges(nil) m = %d, want 3", all.NumEdges())
+	}
+}
+
+func TestDeleteVertices(t *testing.T) {
+	g := triangle()
+	sub, m := g.DeleteVertices(bitset.FromSlice(3, []int{1}))
+	if sub.NumVertices() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("after deleting vertex 1: %v", sub)
+	}
+	if m.VertexTo[0] != 0 || m.VertexTo[1] != 2 {
+		t.Errorf("VertexTo = %v, want [0 2]", m.VertexTo)
+	}
+	if m.EdgeTo[0] != 2 {
+		t.Errorf("EdgeTo = %v, want [2]", m.EdgeTo)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(3)
+	a.MustAddEdge(0, 1, 1)
+	b := New(3)
+	b.MustAddEdge(1, 0, 9) // duplicate of a's edge, opposite orientation
+	b.MustAddEdge(1, 2, 2)
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	if u.NumEdges() != 2 {
+		t.Fatalf("union m = %d, want 2", u.NumEdges())
+	}
+	e, _ := u.EdgeBetween(0, 1)
+	if e.Weight != 1 {
+		t.Errorf("first-wins weight = %v, want 1", e.Weight)
+	}
+	if _, err := Union(New(2), New(3)); err == nil {
+		t.Error("union with mismatched vertex counts should error")
+	}
+}
+
+func TestCartesianProductC3K2(t *testing.T) {
+	c3 := triangle()
+	k2 := New(2)
+	k2.MustAddEdge(0, 1, 7)
+	p := CartesianProduct(c3, k2)
+	// C3 x K2 is the 3-prism: 6 vertices, 3*2 + 3*1 = 9 edges, 3-regular.
+	if p.NumVertices() != 6 || p.NumEdges() != 9 {
+		t.Fatalf("prism = %v, want n=6 m=9", p)
+	}
+	for v := 0; v < 6; v++ {
+		if p.Degree(v) != 3 {
+			t.Errorf("Degree(%d) = %d, want 3", v, p.Degree(v))
+		}
+	}
+	// Weights: copies of C3 edges keep C3 weights; rungs keep K2's weight 7.
+	e, ok := p.EdgeBetween(0, 1) // (x=0,y=0)-(x=0,y=1): rung
+	if !ok || e.Weight != 7 {
+		t.Errorf("rung edge = %+v, %v; want weight 7", e, ok)
+	}
+	e, ok = p.EdgeBetween(0, 2) // (0,0)-(1,0): copy of C3 edge (0,1) weight 1
+	if !ok || e.Weight != 1 {
+		t.Errorf("base edge = %+v, %v; want weight 1", e, ok)
+	}
+}
+
+func TestBlowup(t *testing.T) {
+	// Blow up a single weighted edge with t=3: K_{3,3} with that weight.
+	g := New(2)
+	g.MustAddEdge(0, 1, 2.5)
+	b := Blowup(g, 3)
+	if b.NumVertices() != 6 || b.NumEdges() != 9 {
+		t.Fatalf("blow-up n=%d m=%d, want 6, 9", b.NumVertices(), b.NumEdges())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			e, ok := b.EdgeBetween(i, 3+j)
+			if !ok || e.Weight != 2.5 {
+				t.Errorf("missing blow-up edge (%d,%d)", i, 3+j)
+			}
+		}
+		// Copies of the same vertex are not adjacent.
+		for j := i + 1; j < 3; j++ {
+			if b.HasEdge(i, j) || b.HasEdge(3+i, 3+j) {
+				t.Error("copies of one vertex must stay independent")
+			}
+		}
+	}
+	// t <= 1 is the identity (shape-wise).
+	idt := Blowup(triangle(), 1)
+	if idt.NumVertices() != 3 || idt.NumEdges() != 3 {
+		t.Error("t=1 blow-up should equal the base")
+	}
+	if got := Blowup(triangle(), 0); got.NumVertices() != 3 {
+		t.Error("t<1 should clamp to 1")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(4, 5, 1)
+	labels, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if labels[3] == labels[0] || labels[3] == labels[4] {
+		t.Error("3 should be isolated")
+	}
+	if labels[4] != labels[5] {
+		t.Error("4,5 should share a component")
+	}
+	if g.IsConnected() {
+		t.Error("IsConnected() = true, want false")
+	}
+	if !triangle().IsConnected() {
+		t.Error("triangle should be connected")
+	}
+}
+
+func TestEmptyGraphConnected(t *testing.T) {
+	if !New(0).IsConnected() {
+		t.Error("empty graph should count as connected")
+	}
+	if !New(1).IsConnected() {
+		t.Error("single vertex should be connected")
+	}
+}
+
+// TestQuickInducedSubgraphPreservesWeights: edges surviving into a random
+// induced subgraph keep their weight and map back to the right original edge.
+func TestQuickInducedSubgraphPreservesWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := New(n)
+		for tries := 0; tries < 2*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v, 1+rng.Float64())
+		}
+		perm := rng.Perm(n)
+		k := 1 + rng.Intn(n)
+		sub, m, err := g.InducedSubgraph(perm[:k])
+		if err != nil {
+			return false
+		}
+		for newID, oldID := range m.EdgeTo {
+			ne, oe := sub.Edge(newID), g.Edge(oldID)
+			if ne.Weight != oe.Weight {
+				return false
+			}
+			if m.VertexTo[ne.U] != oe.U && m.VertexTo[ne.U] != oe.V {
+				return false
+			}
+		}
+		// Edge count matches a direct count of internal edges.
+		inSub := make(map[int]bool, k)
+		for _, v := range perm[:k] {
+			inSub[v] = true
+		}
+		want := 0
+		for _, e := range g.Edges() {
+			if inSub[e.U] && inSub[e.V] {
+				want++
+			}
+		}
+		return sub.NumEdges() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+// Package mst computes minimum spanning forests via Kruskal's algorithm.
+//
+// The MSF matters to this repository for a classical invariant: every
+// greedy t-spanner (t >= 1, and in particular every fault-tolerant greedy
+// output) contains a minimum spanning forest — when the greedy reaches the
+// lightest edge across any cut with no prior u-v path, the distance is
+// infinite and the edge is kept. Tests use this as a cross-check on the
+// core algorithm, and examples use the MSF weight as the sparsity floor.
+package mst
+
+import (
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/unionfind"
+)
+
+// Kruskal returns the edge IDs of a minimum spanning forest of g, in
+// increasing weight order (ties broken by edge ID, matching the greedy
+// algorithms' scan order), together with its total weight.
+func Kruskal(g *graph.Graph) (edgeIDs []int, totalWeight float64) {
+	forest := unionfind.New(g.NumVertices())
+	for _, e := range g.EdgesByWeight() {
+		if forest.Union(e.U, e.V) {
+			edgeIDs = append(edgeIDs, e.ID)
+			totalWeight += e.Weight
+		}
+	}
+	return edgeIDs, totalWeight
+}
+
+// Weight returns only the total weight of a minimum spanning forest.
+func Weight(g *graph.Graph) float64 {
+	_, w := Kruskal(g)
+	return w
+}

@@ -1,0 +1,169 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/core"
+	"github.com/ftspanner/ftspanner/internal/gen"
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/spanner"
+)
+
+func TestKruskalKnown(t *testing.T) {
+	// Square with one heavy diagonal: MST = three lightest edges.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)   // 0
+	g.MustAddEdge(1, 2, 2)   // 1
+	g.MustAddEdge(2, 3, 3)   // 2
+	g.MustAddEdge(3, 0, 10)  // 3
+	g.MustAddEdge(0, 2, 2.5) // 4
+
+	ids, w := Kruskal(g)
+	if len(ids) != 3 {
+		t.Fatalf("MST has %d edges, want 3", len(ids))
+	}
+	if w != 6 {
+		t.Errorf("MST weight = %v, want 6", w)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("MST edges = %v, want %v", ids, want)
+		}
+	}
+	if Weight(g) != 6 {
+		t.Error("Weight disagrees with Kruskal")
+	}
+}
+
+func TestKruskalForest(t *testing.T) {
+	// Two components: a spanning forest with n - #components edges.
+	g := graph.New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 5)
+	g.MustAddEdge(3, 4, 2)
+	ids, w := Kruskal(g)
+	if len(ids) != 3 {
+		t.Fatalf("forest has %d edges, want 3", len(ids))
+	}
+	if w != 4 {
+		t.Errorf("forest weight = %v, want 4", w)
+	}
+}
+
+func TestKruskalEmptyAndTrivial(t *testing.T) {
+	ids, w := Kruskal(graph.New(0))
+	if len(ids) != 0 || w != 0 {
+		t.Error("empty graph MST should be empty")
+	}
+	ids, w = Kruskal(graph.New(3))
+	if len(ids) != 0 || w != 0 {
+		t.Error("edgeless graph MST should be empty")
+	}
+}
+
+// primWeight is an independent MST implementation for cross-checking.
+func primWeight(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	total := 0.0
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for comp := 0; comp < n; comp++ {
+		if inTree[comp] {
+			continue
+		}
+		best[comp] = 0
+		for {
+			u, min := -1, math.Inf(1)
+			for v := 0; v < n; v++ {
+				if !inTree[v] && best[v] < min {
+					u, min = v, best[v]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			inTree[u] = true
+			total += best[u]
+			for _, arc := range g.Neighbors(u) {
+				if !inTree[arc.To] && arc.Weight < best[arc.To] {
+					best[arc.To] = arc.Weight
+				}
+			}
+		}
+	}
+	return total
+}
+
+func TestQuickKruskalMatchesPrim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(u, v, 0.1+rng.Float64())
+				}
+			}
+		}
+		return math.Abs(Weight(g)-primWeight(g)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGreedySpannersContainMSF: the classical invariant tying the MST
+// substrate to the paper's algorithm — every (FT) greedy spanner contains a
+// minimum spanning forest.
+func TestQuickGreedySpannersContainMSF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(12)
+		maxM := n * (n - 1) / 2
+		m := (n - 1) + rng.Intn(maxM-(n-1)+1)
+		base, err := gen.ConnectedGNM(n, m, rng)
+		if err != nil {
+			return false
+		}
+		g, err := gen.RandomizeWeights(base, 1, 2, rng) // distinct weights whp
+		if err != nil {
+			return false
+		}
+		msf, _ := Kruskal(g)
+
+		// Plain greedy.
+		plain, err := spanner.Greedy(g, 1+2*rng.Float64())
+		if err != nil {
+			return false
+		}
+		kept := plain.KeptBool(g.NumEdges())
+		for _, id := range msf {
+			if !kept[id] {
+				return false
+			}
+		}
+		// FT greedy (either mode).
+		res, err := core.GreedyVFT(g, 3, rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		for _, id := range msf {
+			if !res.KeptSet.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package pq implements an indexed binary min-heap keyed by float64
+// priorities. It supports decrease-key, which container/heap only offers
+// through interface boxing and Fix; the hand-rolled version keeps Dijkstra's
+// inner loop allocation-free.
+//
+// Items are integers in [0, n). The heap is sized once and reused across
+// runs via Reset, which is O(items touched) rather than O(n).
+package pq
+
+// Heap is an indexed min-heap over items 0..n-1.
+type Heap struct {
+	keys []float64 // keys[item] = current priority
+	pos  []int     // pos[item] = index in heap, or -1 if absent
+	heap []int     // heap[i] = item at heap position i
+}
+
+// New returns an empty heap over items [0, n).
+func New(n int) *Heap {
+	h := &Heap{
+		keys: make([]float64, n),
+		pos:  make([]int, n),
+		heap: make([]int, 0, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *Heap) Len() int { return len(h.heap) }
+
+// Cap returns the item universe size.
+func (h *Heap) Cap() int { return len(h.pos) }
+
+// Contains reports whether item is currently in the heap.
+func (h *Heap) Contains(item int) bool { return h.pos[item] >= 0 }
+
+// Key returns the current key of item. Only meaningful if the item is, or
+// was at some point, in the heap since the last Reset.
+func (h *Heap) Key(item int) float64 { return h.keys[item] }
+
+// Reset empties the heap in O(current size).
+func (h *Heap) Reset() {
+	for _, item := range h.heap {
+		h.pos[item] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+// Push inserts item with the given key, or lowers its key if the item is
+// already present with a larger key (a no-op if the existing key is smaller
+// or equal). This merged push/decrease-key is exactly the relaxation step of
+// Dijkstra.
+func (h *Heap) Push(item int, key float64) {
+	if p := h.pos[item]; p >= 0 {
+		if key < h.keys[item] {
+			h.keys[item] = key
+			h.up(p)
+		}
+		return
+	}
+	h.keys[item] = key
+	h.pos[item] = len(h.heap)
+	h.heap = append(h.heap, item)
+	h.up(len(h.heap) - 1)
+}
+
+// PopMin removes and returns the item with the smallest key. It panics on an
+// empty heap; callers check Len first.
+func (h *Heap) PopMin() (item int, key float64) {
+	item = h.heap[0]
+	key = h.keys[item]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[item] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return item, key
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[h.heap[parent]] <= h.keys[h.heap[i]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.keys[h.heap[right]] < h.keys[h.heap[left]] {
+			smallest = right
+		}
+		if h.keys[h.heap[i]] <= h.keys[h.heap[smallest]] {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}

@@ -1,0 +1,158 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New(10)
+	if h.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", h.Len())
+	}
+	if h.Cap() != 10 {
+		t.Errorf("Cap() = %d, want 10", h.Cap())
+	}
+	if h.Contains(3) {
+		t.Error("empty heap Contains(3) = true")
+	}
+}
+
+func TestPushPopOrdered(t *testing.T) {
+	h := New(5)
+	keys := []float64{3, 1, 4, 1.5, 0.5}
+	for item, k := range keys {
+		h.Push(item, k)
+	}
+	wantOrder := []int{4, 1, 3, 0, 2}
+	for _, want := range wantOrder {
+		item, key := h.PopMin()
+		if item != want {
+			t.Fatalf("PopMin() = %d (key %v), want %d", item, key, want)
+		}
+		if key != keys[want] {
+			t.Fatalf("PopMin key = %v, want %v", key, keys[want])
+		}
+	}
+	if h.Len() != 0 {
+		t.Error("heap not empty after popping everything")
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(3)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Push(2, 5) // decrease
+	if item, key := h.PopMin(); item != 2 || key != 5 {
+		t.Fatalf("PopMin() = %d/%v, want 2/5", item, key)
+	}
+	// Increasing is a no-op.
+	h.Push(0, 99)
+	if item, key := h.PopMin(); item != 0 || key != 10 {
+		t.Fatalf("PopMin() = %d/%v, want 0/10 (increase must be ignored)", item, key)
+	}
+}
+
+func TestContainsLifecycle(t *testing.T) {
+	h := New(4)
+	h.Push(2, 1)
+	if !h.Contains(2) {
+		t.Error("Contains(2) = false after Push")
+	}
+	h.PopMin()
+	if h.Contains(2) {
+		t.Error("Contains(2) = true after PopMin")
+	}
+	h.Push(2, 3)
+	if !h.Contains(2) || h.Key(2) != 3 {
+		t.Error("re-push after pop failed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(6)
+	for i := 0; i < 6; i++ {
+		h.Push(i, float64(10-i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len() = %d after Reset", h.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if h.Contains(i) {
+			t.Fatalf("Contains(%d) = true after Reset", i)
+		}
+	}
+	h.Push(3, 1)
+	if item, _ := h.PopMin(); item != 3 {
+		t.Error("heap unusable after Reset")
+	}
+}
+
+// TestQuickHeapSort: pushing random keys and popping yields sorted order,
+// respecting the final (minimum) key after random decrease-key operations.
+func TestQuickHeapSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := New(n)
+		final := make(map[int]float64)
+		// Random pushes including decrease-keys.
+		for op := 0; op < 3*n; op++ {
+			item := rng.Intn(n)
+			key := rng.Float64() * 100
+			h.Push(item, key)
+			if old, ok := final[item]; !ok || key < old {
+				final[item] = key
+			}
+		}
+		type kv struct {
+			item int
+			key  float64
+		}
+		want := make([]kv, 0, len(final))
+		for item, key := range final {
+			want = append(want, kv{item, key})
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].key < want[j].key })
+		if h.Len() != len(want) {
+			return false
+		}
+		prev := -1.0
+		for range want {
+			_, key := h.PopMin()
+			if key < prev {
+				return false
+			}
+			prev = key
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	const n = 1024
+	h := New(n)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for item, k := range keys {
+			h.Push(item, k)
+		}
+		for h.Len() > 0 {
+			h.PopMin()
+		}
+	}
+}

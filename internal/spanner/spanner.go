@@ -1,0 +1,57 @@
+// Package spanner implements classical (non-fault-tolerant) spanner
+// constructions. They serve three roles in this repository: the greedy
+// algorithm of Althöfer et al. is the f=0 reference point for the paper's
+// fault-tolerant greedy; Baswana–Sen is the fast black-box spanner the
+// sampling baseline unions together; both are floors in experiment E3.
+package spanner
+
+import (
+	"fmt"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/sssp"
+)
+
+// Result is the output of a spanner construction over an input graph.
+type Result struct {
+	// Spanner is the output subgraph, on the same vertex set as the input.
+	// Its edge i corresponds to input edge Kept[i] (same endpoints and
+	// weight, possibly different ID).
+	Spanner *graph.Graph
+	// Kept lists the input edge IDs retained, in spanner edge-ID order.
+	Kept []int
+}
+
+// KeptBool returns a membership slice over input edge IDs: out[id] reports
+// whether the input edge id was kept. numInputEdges is the input edge count.
+func (r *Result) KeptBool(numInputEdges int) []bool {
+	out := make([]bool, numInputEdges)
+	for _, id := range r.Kept {
+		out[id] = true
+	}
+	return out
+}
+
+// Greedy runs the greedy t-spanner algorithm of Althöfer et al.: edges are
+// scanned in increasing weight (ties by edge ID) and kept iff the spanner
+// built so far has no u-v path of weight at most t·w(u,v). The output is a
+// t-spanner with girth > t+1 whose size is existentially optimal.
+func Greedy(g *graph.Graph, t float64) (*Result, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("spanner: stretch must be >= 1, got %v", t)
+	}
+	h := graph.New(g.NumVertices())
+	res := &Result{Spanner: h}
+	solver := sssp.NewSolver(g.NumVertices())
+	for _, e := range g.EdgesByWeight() {
+		if err := solver.RunTarget(h, e.U, e.V, sssp.Options{Bound: t * e.Weight}); err != nil {
+			return nil, err
+		}
+		if solver.Reached(e.V) {
+			continue // already spanned within stretch
+		}
+		h.MustAddEdge(e.U, e.V, e.Weight)
+		res.Kept = append(res.Kept, e.ID)
+	}
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package spanner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/gen"
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/sssp"
+	"github.com/ftspanner/ftspanner/internal/verify"
+)
+
+// completeEuclidean returns the complete graph on pts weighted by distance.
+func completeEuclidean(pts []gen.Point) *graph.Graph {
+	g := graph.New(len(pts))
+	for u := range pts {
+		for v := u + 1; v < len(pts); v++ {
+			if d := pts[u].Dist(pts[v]); d > 0 {
+				g.MustAddEdge(u, v, d)
+			}
+		}
+	}
+	return g
+}
+
+func randomPoints(n int, rng *rand.Rand) []gen.Point {
+	pts := make([]gen.Point, n)
+	for i := range pts {
+		pts[i] = gen.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func TestYaoArgumentChecks(t *testing.T) {
+	pts := randomPoints(5, rand.New(rand.NewSource(1)))
+	if _, err := YaoGraph(pts, 0); err == nil {
+		t.Error("cones=0 should error")
+	}
+	if _, err := YaoGraphFT(pts, 8, -1); err == nil {
+		t.Error("f<0 should error")
+	}
+}
+
+func TestYaoStretchBound(t *testing.T) {
+	if !math.IsInf(YaoStretchBound(6), 1) {
+		t.Error("no bound at 6 cones")
+	}
+	// 12 cones: 1/(1-2 sin 15°) ≈ 2.074.
+	if b := YaoStretchBound(12); math.Abs(b-2.0738) > 0.001 {
+		t.Errorf("bound(12) = %v", b)
+	}
+	// More cones, tighter bound.
+	if YaoStretchBound(18) >= YaoStretchBound(12) {
+		t.Error("bound should shrink with more cones")
+	}
+}
+
+func TestYaoGraphIsGeometricSpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(80, rng)
+	const cones = 12
+	y, err := YaoGraph(pts, cones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := completeEuclidean(pts)
+	if y.NumEdges() >= full.NumEdges() {
+		t.Error("yao graph failed to sparsify")
+	}
+	// Per-edge certificate against the complete Euclidean graph.
+	bound := YaoStretchBound(cones)
+	solver := sssp.NewSolver(full.NumVertices())
+	for _, e := range full.Edges() {
+		if err := solver.RunTarget(y, e.U, e.V, sssp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if d := solver.Dist(e.V); d > bound*e.Weight+1e-9 {
+			t.Fatalf("pair (%d,%d): stretch %v > bound %v", e.U, e.V, d/e.Weight, bound)
+		}
+	}
+	// Sparsity: at most cones edges per vertex (each vertex initiates <=
+	// one edge per cone; both endpoints may initiate).
+	if y.NumEdges() > cones*y.NumVertices() {
+		t.Errorf("yao graph too dense: %d edges", y.NumEdges())
+	}
+}
+
+func TestYaoGraphFTFaultTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(60, rng)
+	const cones, f = 12, 2
+	y, err := YaoGraphFT(pts, cones, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := completeEuclidean(pts)
+	// Map yao edges onto the complete graph's IDs for verification.
+	kept := make([]int, y.NumEdges())
+	for _, e := range y.Edges() {
+		ge, ok := full.EdgeBetween(e.U, e.V)
+		if !ok {
+			t.Fatalf("yao edge (%d,%d) missing from complete graph", e.U, e.V)
+		}
+		kept[e.ID] = ge.ID
+	}
+	inst, err := verify.NewInstance(full, y, kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FT Yao graph should tolerate f vertex faults at the Yao bound
+	// (empirical check: randomized + adversarial).
+	bound := YaoStretchBound(cones)
+	if err := inst.RandomCheck(bound, fault.Vertices, f, 120, rng); err != nil {
+		t.Errorf("random fault check: %v", err)
+	}
+	if err := inst.AdversarialCheck(bound, fault.Vertices, f, 40, rng); err != nil {
+		t.Errorf("adversarial fault check: %v", err)
+	}
+	// The FT variant must be denser than the plain one.
+	plain, err := YaoGraph(pts, cones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NumEdges() <= plain.NumEdges() {
+		t.Error("FT yao graph should have more edges")
+	}
+}
+
+func TestYaoCoincidentPoints(t *testing.T) {
+	// Coincident points must not create zero-weight or self edges.
+	pts := []gen.Point{{X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.5}, {X: 0.1, Y: 0.1}}
+	y, err := YaoGraph(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range y.Edges() {
+		if e.Weight <= 0 {
+			t.Errorf("edge %v has non-positive weight", e)
+		}
+	}
+}
+
+func TestQuickYaoSpannerProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(15+rng.Intn(25), rng)
+		cones := 8 + rng.Intn(8)
+		y, err := YaoGraph(pts, cones)
+		if err != nil {
+			return false
+		}
+		full := completeEuclidean(pts)
+		bound := YaoStretchBound(cones)
+		solver := sssp.NewSolver(full.NumVertices())
+		for _, e := range full.Edges() {
+			if err := solver.RunTarget(y, e.U, e.V, sssp.Options{}); err != nil {
+				return false
+			}
+			if solver.Dist(e.V) > bound*e.Weight+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

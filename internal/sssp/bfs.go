@@ -1,0 +1,56 @@
+package sssp
+
+import (
+	"fmt"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// BFSResult holds hop counts from a breadth-first search (edge weights
+// ignored). Hops[v] == -1 means v is unreachable.
+type BFSResult struct {
+	Hops       []int
+	ParentEdge []int // edge ID used to reach v, -1 for source/unreached
+}
+
+// BFS runs a breadth-first search from src, ignoring edge weights but
+// honoring the forbidden masks in opts. If maxHops >= 0, the search stops
+// expanding beyond that depth (vertices farther away stay unreachable).
+func BFS(g *graph.Graph, src int, maxHops int, opts Options) (*BFSResult, error) {
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("sssp: bfs source %d out of range [0,%d)", src, n)
+	}
+	if opts.ForbiddenVertices.Contains(src) {
+		return nil, fmt.Errorf("sssp: bfs source %d is forbidden", src)
+	}
+	res := &BFSResult{
+		Hops:       make([]int, n),
+		ParentEdge: make([]int, n),
+	}
+	for i := range res.Hops {
+		res.Hops[i] = -1
+		res.ParentEdge[i] = -1
+	}
+	res.Hops[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if maxHops >= 0 && res.Hops[u] >= maxHops {
+			continue
+		}
+		for _, arc := range g.Neighbors(u) {
+			v := arc.To
+			if res.Hops[v] != -1 ||
+				opts.ForbiddenVertices.Contains(v) ||
+				opts.ForbiddenEdges.Contains(arc.ID) {
+				continue
+			}
+			res.Hops[v] = res.Hops[u] + 1
+			res.ParentEdge[v] = arc.ID
+			queue = append(queue, v)
+		}
+	}
+	return res, nil
+}

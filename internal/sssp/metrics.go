@@ -1,0 +1,69 @@
+package sssp
+
+import (
+	"math"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// Eccentricities returns, for every vertex, its weighted eccentricity: the
+// maximum shortest-path distance to any other vertex, +Inf if the graph is
+// disconnected (and 0 for a single-vertex or empty graph). O(n) Dijkstras.
+func Eccentricities(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	ecc := make([]float64, n)
+	if n <= 1 {
+		return ecc
+	}
+	solver := NewSolver(n)
+	for v := 0; v < n; v++ {
+		if err := solver.Run(g, v, Options{}); err != nil {
+			// Unreachable: v is always a valid, unforbidden source.
+			panic(err)
+		}
+		worst := 0.0
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			d := solver.Dist(u)
+			if math.IsInf(d, 1) {
+				worst = math.Inf(1)
+				break
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		ecc[v] = worst
+	}
+	return ecc
+}
+
+// Diameter returns the maximum eccentricity (+Inf if disconnected, 0 for
+// graphs with fewer than two vertices).
+func Diameter(g *graph.Graph) float64 {
+	worst := 0.0
+	for _, e := range Eccentricities(g) {
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Radius returns the minimum eccentricity (+Inf if disconnected, 0 for
+// graphs with fewer than two vertices).
+func Radius(g *graph.Graph) float64 {
+	ecc := Eccentricities(g)
+	if len(ecc) == 0 {
+		return 0
+	}
+	best := ecc[0]
+	for _, e := range ecc[1:] {
+		if e < best {
+			best = e
+		}
+	}
+	return best
+}

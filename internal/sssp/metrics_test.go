@@ -1,0 +1,62 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+func TestEccentricitiesPath(t *testing.T) {
+	// Path 0-1-2-3 with unit weights: ecc = [3,2,2,3].
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	want := []float64{3, 2, 2, 3}
+	got := Eccentricities(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("ecc[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+	if d := Diameter(g); d != 3 {
+		t.Errorf("Diameter = %v, want 3", d)
+	}
+	if r := Radius(g); r != 2 {
+		t.Errorf("Radius = %v, want 2", r)
+	}
+}
+
+func TestMetricsWeighted(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1.5)
+	g.MustAddEdge(1, 2, 2.5)
+	g.MustAddEdge(0, 2, 10) // never used: 0-1-2 is 4
+	if d := Diameter(g); d != 4 {
+		t.Errorf("Diameter = %v, want 4", d)
+	}
+	if r := Radius(g); r != 2.5 {
+		t.Errorf("Radius = %v, want 2.5", r)
+	}
+}
+
+func TestMetricsDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	if d := Diameter(g); !math.IsInf(d, 1) {
+		t.Errorf("disconnected Diameter = %v, want +Inf", d)
+	}
+	if r := Radius(g); !math.IsInf(r, 1) {
+		t.Errorf("disconnected Radius = %v, want +Inf", r)
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	if Diameter(graph.New(0)) != 0 || Radius(graph.New(0)) != 0 {
+		t.Error("empty graph metrics should be 0")
+	}
+	if Diameter(graph.New(1)) != 0 {
+		t.Error("single vertex diameter should be 0")
+	}
+}

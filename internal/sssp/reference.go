@@ -1,0 +1,53 @@
+package sssp
+
+import (
+	"math"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// BellmanFord computes shortest-path distances from src with a simple
+// O(n·m) relaxation loop. It exists as an independent reference
+// implementation for testing the Dijkstra solver (the graph type only
+// permits positive weights, so both must agree everywhere).
+func BellmanFord(g *graph.Graph, src int, opts Options) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if src < 0 || src >= n || opts.ForbiddenVertices.Contains(src) {
+		return dist
+	}
+	dist[src] = 0
+	edges := g.Edges()
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, e := range edges {
+			if opts.ForbiddenEdges.Contains(e.ID) ||
+				opts.ForbiddenVertices.Contains(e.U) ||
+				opts.ForbiddenVertices.Contains(e.V) {
+				continue
+			}
+			if d := dist[e.U] + e.Weight; d < dist[e.V] {
+				dist[e.V] = d
+				changed = true
+			}
+			if d := dist[e.V] + e.Weight; d < dist[e.U] {
+				dist[e.U] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if opts.Bound > 0 {
+		for v := range dist {
+			if dist[v] > opts.Bound {
+				dist[v] = math.Inf(1)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,228 @@
+// Package sssp provides single-source and single-pair shortest paths on the
+// repository's graph type, with the features the fault-tolerant machinery
+// needs: forbidden-vertex and forbidden-edge masks (so callers never
+// materialize G \ F), distance bounds with early exit, and a reusable Solver
+// that performs no per-query allocation.
+package sssp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/pq"
+)
+
+// Options configures a shortest-path run. The zero value means: no forbidden
+// elements and no distance bound.
+type Options struct {
+	// ForbiddenVertices are treated as deleted. The source must not be
+	// forbidden. nil means none.
+	ForbiddenVertices *bitset.Set
+	// ForbiddenEdges are treated as deleted. nil means none.
+	ForbiddenEdges *bitset.Set
+	// Bound, if positive, stops the search once every remaining vertex is
+	// known to be farther than Bound; vertices at distance > Bound are
+	// reported unreached. Zero or negative means unbounded.
+	Bound float64
+}
+
+// Solver runs Dijkstra repeatedly over graphs with at most Cap vertices,
+// reusing all internal state between runs. It is not safe for concurrent
+// use; create one Solver per goroutine.
+type Solver struct {
+	heap       *pq.Heap
+	dist       []float64
+	parentEdge []int
+	settled    []bool
+	touched    []int
+}
+
+// NewSolver returns a Solver for graphs with up to n vertices.
+func NewSolver(n int) *Solver {
+	s := &Solver{
+		heap:       pq.New(n),
+		dist:       make([]float64, n),
+		parentEdge: make([]int, n),
+		settled:    make([]bool, n),
+		touched:    make([]int, 0, n),
+	}
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.parentEdge[i] = -1
+	}
+	return s
+}
+
+// Cap returns the maximum vertex count this solver supports.
+func (s *Solver) Cap() int { return len(s.dist) }
+
+// Run computes shortest paths from src to every reachable vertex of g under
+// opts. Results are valid until the next Run/RunTarget.
+func (s *Solver) Run(g *graph.Graph, src int, opts Options) error {
+	return s.run(g, src, -1, opts)
+}
+
+// RunTarget is Run with an early exit: the search stops as soon as target is
+// settled, so other vertices may be reported unreached.
+func (s *Solver) RunTarget(g *graph.Graph, src, target int, opts Options) error {
+	if target < 0 || target >= g.NumVertices() {
+		return fmt.Errorf("sssp: target %d out of range [0,%d)", target, g.NumVertices())
+	}
+	return s.run(g, src, target, opts)
+}
+
+func (s *Solver) run(g *graph.Graph, src, target int, opts Options) error {
+	n := g.NumVertices()
+	if n > len(s.dist) {
+		return fmt.Errorf("sssp: graph has %d vertices, solver capacity is %d", n, len(s.dist))
+	}
+	if src < 0 || src >= n {
+		return fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+	}
+	if opts.ForbiddenVertices.Contains(src) {
+		return fmt.Errorf("sssp: source %d is forbidden", src)
+	}
+	s.reset()
+
+	bounded := opts.Bound > 0
+	s.dist[src] = 0
+	s.touched = append(s.touched, src)
+	s.heap.Push(src, 0)
+
+	for s.heap.Len() > 0 {
+		u, d := s.heap.PopMin()
+		if bounded && d > opts.Bound {
+			break
+		}
+		s.settled[u] = true
+		if u == target {
+			break
+		}
+		for _, arc := range g.Neighbors(u) {
+			v := arc.To
+			if s.settled[v] ||
+				opts.ForbiddenVertices.Contains(v) ||
+				opts.ForbiddenEdges.Contains(arc.ID) {
+				continue
+			}
+			nd := d + arc.Weight
+			if bounded && nd > opts.Bound {
+				continue
+			}
+			if nd < s.dist[v] {
+				if math.IsInf(s.dist[v], 1) {
+					s.touched = append(s.touched, v)
+				}
+				s.dist[v] = nd
+				s.parentEdge[v] = arc.ID
+				s.heap.Push(v, nd)
+			}
+		}
+	}
+	return nil
+}
+
+// Reached reports whether v was settled in the last run.
+func (s *Solver) Reached(v int) bool { return s.settled[v] }
+
+// Dist returns the shortest-path distance to v from the last run's source,
+// or +Inf if v was not settled.
+func (s *Solver) Dist(v int) float64 {
+	if !s.settled[v] {
+		return math.Inf(1)
+	}
+	return s.dist[v]
+}
+
+// PathTo returns the vertices of a shortest path from the last run's source
+// to v (inclusive on both ends), or nil if v was not settled.
+func (s *Solver) PathTo(g *graph.Graph, v int) []int {
+	if !s.settled[v] {
+		return nil
+	}
+	var rev []int
+	for {
+		rev = append(rev, v)
+		eid := s.parentEdge[v]
+		if eid < 0 {
+			break
+		}
+		v = g.Edge(eid).Other(v)
+	}
+	reverse(rev)
+	return rev
+}
+
+// PathEdgesTo returns the edge IDs of a shortest path to v in path order, or
+// nil if v was not settled. A settled source yields an empty (nil) path.
+func (s *Solver) PathEdgesTo(g *graph.Graph, v int) []int {
+	if !s.settled[v] {
+		return nil
+	}
+	var rev []int
+	for {
+		eid := s.parentEdge[v]
+		if eid < 0 {
+			break
+		}
+		rev = append(rev, eid)
+		v = g.Edge(eid).Other(v)
+	}
+	reverse(rev)
+	return rev
+}
+
+func (s *Solver) reset() {
+	for _, v := range s.touched {
+		s.dist[v] = math.Inf(1)
+		s.parentEdge[v] = -1
+		s.settled[v] = false
+	}
+	s.touched = s.touched[:0]
+	s.heap.Reset()
+}
+
+func reverse(a []int) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// Dist is a convenience wrapper returning the shortest-path distance between
+// u and v (with early exit at v), or +Inf if unreachable under opts.
+func Dist(g *graph.Graph, u, v int, opts Options) float64 {
+	s := NewSolver(g.NumVertices())
+	if err := s.RunTarget(g, u, v, opts); err != nil {
+		return math.Inf(1)
+	}
+	return s.Dist(v)
+}
+
+// Path is a convenience wrapper returning a shortest u-v path as vertex and
+// edge sequences. ok is false if v is unreachable under opts.
+func Path(g *graph.Graph, u, v int, opts Options) (vertices, edges []int, ok bool) {
+	s := NewSolver(g.NumVertices())
+	if err := s.RunTarget(g, u, v, opts); err != nil {
+		return nil, nil, false
+	}
+	if !s.Reached(v) {
+		return nil, nil, false
+	}
+	return s.PathTo(g, v), s.PathEdgesTo(g, v), true
+}
+
+// AllDists returns the distance from src to every vertex (+Inf where
+// unreachable) under opts.
+func AllDists(g *graph.Graph, src int, opts Options) ([]float64, error) {
+	s := NewSolver(g.NumVertices())
+	if err := s.Run(g, src, opts); err != nil {
+		return nil, err
+	}
+	out := make([]float64, g.NumVertices())
+	for v := range out {
+		out[v] = s.Dist(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,371 @@
+package sssp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// diamond returns the graph
+//
+//	0 --1-- 1 --1-- 3
+//	 \             /
+//	  2--- 2 ---2
+//
+// (path 0-1-3 of weight 2, path 0-2-3 of weight 4).
+func diamond() *graph.Graph {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(2, 3, 2)
+	return g
+}
+
+func TestDijkstraBasic(t *testing.T) {
+	g := diamond()
+	dists, err := AllDists(g, 0, Options{})
+	if err != nil {
+		t.Fatalf("AllDists: %v", err)
+	}
+	want := []float64{0, 1, 2, 2}
+	for v, d := range want {
+		if dists[v] != d {
+			t.Errorf("dist[%d] = %v, want %v", v, dists[v], d)
+		}
+	}
+}
+
+func TestDijkstraForbiddenVertex(t *testing.T) {
+	g := diamond()
+	opts := Options{ForbiddenVertices: bitset.FromSlice(4, []int{1})}
+	if got := Dist(g, 0, 3, opts); got != 4 {
+		t.Errorf("dist avoiding vertex 1 = %v, want 4", got)
+	}
+	opts = Options{ForbiddenVertices: bitset.FromSlice(4, []int{1, 2})}
+	if got := Dist(g, 0, 3, opts); !math.IsInf(got, 1) {
+		t.Errorf("dist avoiding both = %v, want +Inf", got)
+	}
+}
+
+func TestDijkstraForbiddenEdge(t *testing.T) {
+	g := diamond()
+	// Forbid edge (0,1) (ID 0): forced through 2.
+	opts := Options{ForbiddenEdges: bitset.FromSlice(4, []int{0})}
+	if got := Dist(g, 0, 3, opts); got != 4 {
+		t.Errorf("dist avoiding edge 0 = %v, want 4", got)
+	}
+}
+
+func TestDijkstraBound(t *testing.T) {
+	g := diamond()
+	s := NewSolver(4)
+	if err := s.Run(g, 0, Options{Bound: 1.5}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !s.Reached(1) || s.Dist(1) != 1 {
+		t.Error("vertex 1 within bound should be reached")
+	}
+	if s.Reached(3) || s.Reached(2) {
+		t.Error("vertices beyond bound should be unreached")
+	}
+	if !math.IsInf(s.Dist(3), 1) {
+		t.Errorf("Dist(3) = %v, want +Inf", s.Dist(3))
+	}
+	// Bound exactly on a distance keeps it reachable.
+	if err := s.Run(g, 0, Options{Bound: 2}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !s.Reached(3) || s.Dist(3) != 2 {
+		t.Error("vertex at exactly the bound should be reached")
+	}
+}
+
+func TestRunTargetEarlyExit(t *testing.T) {
+	g := diamond()
+	s := NewSolver(4)
+	if err := s.RunTarget(g, 0, 1, Options{}); err != nil {
+		t.Fatalf("RunTarget: %v", err)
+	}
+	if !s.Reached(1) || s.Dist(1) != 1 {
+		t.Error("target not settled correctly")
+	}
+	if err := s.RunTarget(g, 0, 9, Options{}); err == nil {
+		t.Error("out-of-range target should error")
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	g := diamond()
+	verts, edges, ok := Path(g, 0, 3, Options{})
+	if !ok {
+		t.Fatal("Path not found")
+	}
+	wantV := []int{0, 1, 3}
+	if len(verts) != len(wantV) {
+		t.Fatalf("path vertices = %v, want %v", verts, wantV)
+	}
+	for i := range wantV {
+		if verts[i] != wantV[i] {
+			t.Fatalf("path vertices = %v, want %v", verts, wantV)
+		}
+	}
+	wantE := []int{0, 1}
+	for i := range wantE {
+		if edges[i] != wantE[i] {
+			t.Fatalf("path edges = %v, want %v", edges, wantE)
+		}
+	}
+}
+
+func TestPathToSource(t *testing.T) {
+	g := diamond()
+	s := NewSolver(4)
+	if err := s.Run(g, 2, Options{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	verts := s.PathTo(g, 2)
+	if len(verts) != 1 || verts[0] != 2 {
+		t.Errorf("PathTo(source) = %v, want [2]", verts)
+	}
+	if edges := s.PathEdgesTo(g, 2); len(edges) != 0 {
+		t.Errorf("PathEdgesTo(source) = %v, want empty", edges)
+	}
+}
+
+func TestPathUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	if _, _, ok := Path(g, 0, 2, Options{}); ok {
+		t.Error("path to isolated vertex should not exist")
+	}
+	s := NewSolver(3)
+	if err := s.Run(g, 0, Options{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.PathTo(g, 2) != nil || s.PathEdgesTo(g, 2) != nil {
+		t.Error("paths to unreached vertices must be nil")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := diamond()
+	s := NewSolver(4)
+	if err := s.Run(g, -1, Options{}); err == nil {
+		t.Error("negative source should error")
+	}
+	if err := s.Run(g, 4, Options{}); err == nil {
+		t.Error("out-of-range source should error")
+	}
+	forbidden := Options{ForbiddenVertices: bitset.FromSlice(4, []int{0})}
+	if err := s.Run(g, 0, forbidden); err == nil {
+		t.Error("forbidden source should error")
+	}
+	small := NewSolver(2)
+	if err := small.Run(g, 0, Options{}); err == nil {
+		t.Error("undersized solver should error")
+	}
+}
+
+func TestSolverReuseIsClean(t *testing.T) {
+	g := diamond()
+	s := NewSolver(4)
+	if err := s.Run(g, 0, Options{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Second run from a different source on a graph where some previously
+	// reached vertices are now unreachable.
+	h := graph.New(4)
+	h.MustAddEdge(2, 3, 5)
+	if err := s.Run(h, 2, Options{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Reached(0) || s.Reached(1) {
+		t.Error("stale reachability leaked across runs")
+	}
+	if s.Dist(3) != 5 {
+		t.Errorf("Dist(3) = %v, want 5", s.Dist(3))
+	}
+}
+
+func TestBFSBasic(t *testing.T) {
+	g := diamond()
+	res, err := BFS(g, 0, -1, Options{})
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	// Hops ignore weights: 3 is two hops away via either route.
+	want := []int{0, 1, 1, 2}
+	for v, h := range want {
+		if res.Hops[v] != h {
+			t.Errorf("hops[%d] = %d, want %d", v, res.Hops[v], h)
+		}
+	}
+}
+
+func TestBFSMaxHops(t *testing.T) {
+	g := diamond()
+	res, err := BFS(g, 0, 1, Options{})
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if res.Hops[3] != -1 {
+		t.Errorf("hops[3] = %d, want -1 (beyond maxHops)", res.Hops[3])
+	}
+	if res.Hops[1] != 1 || res.Hops[2] != 1 {
+		t.Error("depth-1 vertices should be reached")
+	}
+}
+
+func TestBFSForbidden(t *testing.T) {
+	g := diamond()
+	opts := Options{ForbiddenVertices: bitset.FromSlice(4, []int{1})}
+	res, err := BFS(g, 0, -1, opts)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if res.Hops[1] != -1 {
+		t.Error("forbidden vertex was visited")
+	}
+	if res.Hops[3] != 2 {
+		t.Errorf("hops[3] = %d, want 2 via vertex 2", res.Hops[3])
+	}
+	if _, err := BFS(g, 0, -1, Options{ForbiddenVertices: bitset.FromSlice(4, []int{0})}); err == nil {
+		t.Error("forbidden source should error")
+	}
+	if _, err := BFS(g, 7, -1, Options{}); err == nil {
+		t.Error("out-of-range source should error")
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int, extraEdges int) *graph.Graph {
+	g := graph.New(n)
+	// Random spanning tree first so most of the graph is connected.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := perm[i], perm[rng.Intn(i)]
+		g.MustAddEdge(u, v, 0.1+rng.Float64())
+	}
+	for tries := 0; tries < extraEdges; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, 0.1+rng.Float64())
+	}
+	return g
+}
+
+// TestQuickDijkstraMatchesBellmanFord fuzzes the solver (with random
+// forbidden masks) against the independent Bellman-Ford reference.
+func TestQuickDijkstraMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, 2*n)
+		opts := Options{}
+		if rng.Intn(2) == 0 {
+			fv := bitset.New(n)
+			for v := 1; v < n; v++ { // never forbid the source (0)
+				if rng.Intn(5) == 0 {
+					fv.Add(v)
+				}
+			}
+			opts.ForbiddenVertices = fv
+		}
+		if rng.Intn(2) == 0 {
+			fe := bitset.New(g.NumEdges())
+			for e := 0; e < g.NumEdges(); e++ {
+				if rng.Intn(5) == 0 {
+					fe.Add(e)
+				}
+			}
+			opts.ForbiddenEdges = fe
+		}
+		got, err := AllDists(g, 0, opts)
+		if err != nil {
+			return false
+		}
+		want := BellmanFord(g, 0, opts)
+		for v := range got {
+			gv, wv := got[v], want[v]
+			if math.IsInf(gv, 1) != math.IsInf(wv, 1) {
+				return false
+			}
+			if !math.IsInf(gv, 1) && math.Abs(gv-wv) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPathsAreValid checks that reported paths exist in the graph,
+// avoid forbidden elements, and have total weight equal to the distance.
+func TestQuickPathsAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, n)
+		fv := bitset.New(n)
+		for v := 2; v < n; v++ {
+			if rng.Intn(6) == 0 {
+				fv.Add(v)
+			}
+		}
+		opts := Options{ForbiddenVertices: fv}
+		verts, edges, ok := Path(g, 0, 1, opts)
+		if !ok {
+			// Cross-check with reference: must really be unreachable.
+			return math.IsInf(BellmanFord(g, 0, opts)[1], 1)
+		}
+		if verts[0] != 0 || verts[len(verts)-1] != 1 || len(edges) != len(verts)-1 {
+			return false
+		}
+		total := 0.0
+		for i, eid := range edges {
+			e := g.Edge(eid)
+			if e.Other(verts[i]) != verts[i+1] {
+				return false
+			}
+			if fv.Contains(verts[i+1]) && verts[i+1] != 1 {
+				return false
+			}
+			total += e.Weight
+		}
+		return math.Abs(total-BellmanFord(g, 0, opts)[1]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDijkstraGrid(b *testing.B) {
+	const side = 40
+	g := graph.New(side * side)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			v := r*side + c
+			if c+1 < side {
+				g.MustAddEdge(v, v+1, 1)
+			}
+			if r+1 < side {
+				g.MustAddEdge(v, v+side, 1)
+			}
+		}
+	}
+	s := NewSolver(g.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(g, 0, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package unionfind implements a disjoint-set forest with union by rank and
+// path halving — the substrate for Kruskal's MST and for connectivity
+// bookkeeping in the generators.
+package unionfind
+
+// Forest is a disjoint-set forest over elements 0..n-1. The zero value is
+// unusable; call New.
+type Forest struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *Forest {
+	if n < 0 {
+		n = 0
+	}
+	f := &Forest{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		sets:   n,
+	}
+	for i := range f.parent {
+		f.parent[i] = i
+	}
+	return f
+}
+
+// Len returns the number of elements.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (f *Forest) Sets() int { return f.sets }
+
+// Find returns the canonical representative of x's set, compressing paths
+// by halving as it walks.
+func (f *Forest) Find(x int) int {
+	for f.parent[x] != x {
+		f.parent[x] = f.parent[f.parent[x]]
+		x = f.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y, returning false if they were already
+// the same set.
+func (f *Forest) Union(x, y int) bool {
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		return false
+	}
+	if f.rank[rx] < f.rank[ry] {
+		rx, ry = ry, rx
+	}
+	f.parent[ry] = rx
+	if f.rank[rx] == f.rank[ry] {
+		f.rank[rx]++
+	}
+	f.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (f *Forest) Connected(x, y int) bool { return f.Find(x) == f.Find(y) }

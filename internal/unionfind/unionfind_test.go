@@ -1,0 +1,94 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	f := New(5)
+	if f.Len() != 5 || f.Sets() != 5 {
+		t.Fatalf("Len=%d Sets=%d, want 5, 5", f.Len(), f.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if f.Find(i) != i {
+			t.Errorf("Find(%d) = %d", i, f.Find(i))
+		}
+	}
+	if f.Connected(0, 1) {
+		t.Error("singletons should not be connected")
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	f := New(4)
+	if !f.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if f.Union(1, 0) {
+		t.Error("repeat union should report false")
+	}
+	if !f.Connected(0, 1) {
+		t.Error("0 and 1 should be connected")
+	}
+	if f.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", f.Sets())
+	}
+	f.Union(2, 3)
+	f.Union(0, 3)
+	if f.Sets() != 1 {
+		t.Errorf("Sets = %d, want 1", f.Sets())
+	}
+	if !f.Connected(1, 2) {
+		t.Error("transitive connectivity broken")
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	if New(-1).Len() != 0 {
+		t.Error("negative size should clamp to 0")
+	}
+}
+
+// TestQuickMatchesNaive compares against a naive label array under random
+// union/find sequences.
+func TestQuickMatchesNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		f := New(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for op := 0; op < 4*n; op++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				merged := f.Union(x, y)
+				if merged != (labels[x] != labels[y]) {
+					return false
+				}
+				relabel(labels[x], labels[y])
+			} else if f.Connected(x, y) != (labels[x] == labels[y]) {
+				return false
+			}
+		}
+		// Set count agrees.
+		distinct := make(map[int]bool)
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		return f.Sets() == len(distinct)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package verify
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/gen"
+)
+
+func TestParallelRandomCheckPasses(t *testing.T) {
+	g := gen.Complete(10)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept) // H = G tolerates everything
+	for _, workers := range []int{0, 1, 4, 64} {
+		rng := rand.New(rand.NewSource(1))
+		if err := inst.ParallelRandomCheck(3, fault.Vertices, 3, 100, workers, rng); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestParallelRandomCheckFindsViolations(t *testing.T) {
+	// Fragile instance: G = C6 + chord, H = C6 only; faults break it.
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(0, 3, 1)
+	inst := subInstance(t, g, []int{0, 1, 2, 3, 4, 5})
+	rng := rand.New(rand.NewSource(2))
+	err = inst.ParallelRandomCheck(3, fault.Vertices, 2, 400, 8, rng)
+	if err == nil {
+		t.Fatal("fragile spanner should be caught")
+	}
+	var viol *Violation
+	if !errors.As(err, &viol) {
+		t.Fatalf("want *Violation, got %T", err)
+	}
+}
+
+func TestParallelRandomCheckDeterministic(t *testing.T) {
+	g, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(0, 3, 1)
+	inst := subInstance(t, g, []int{0, 1, 2, 3, 4, 5})
+	report := func(workers int) string {
+		rng := rand.New(rand.NewSource(7))
+		err := inst.ParallelRandomCheck(3, fault.Vertices, 2, 300, workers, rng)
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	first := report(1)
+	if first == "" {
+		t.Fatal("expected a violation")
+	}
+	for _, workers := range []int{2, 8, 16} {
+		if got := report(workers); got != first {
+			t.Errorf("workers=%d reported %q, workers=1 reported %q", workers, got, first)
+		}
+	}
+}
+
+func TestParallelRandomCheckZeroTrials(t *testing.T) {
+	g := gen.Complete(4)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept)
+	if err := inst.ParallelRandomCheck(3, fault.Vertices, 2, 0, 4, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("zero trials should pass: %v", err)
+	}
+}
+
+func TestParallelExhaustivePasses(t *testing.T) {
+	g := gen.Complete(7)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept)
+	for _, workers := range []int{0, 1, 3, 16} {
+		if err := inst.ParallelExhaustiveCheck(3, fault.Vertices, 2, workers); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestParallelExhaustiveMatchesSequentialViolation(t *testing.T) {
+	// Star spanner of K6: faulting the hub breaks it; the parallel check
+	// must report the same earliest violation as the sequential one.
+	g := gen.Complete(6)
+	var kept []int
+	for _, e := range g.Edges() {
+		if e.U == 0 || e.V == 0 {
+			kept = append(kept, e.ID)
+		}
+	}
+	inst := subInstance(t, g, kept)
+	seq := inst.ExhaustiveCheck(3, fault.Vertices, 1)
+	if seq == nil {
+		t.Fatal("sequential check should fail")
+	}
+	for _, workers := range []int{1, 4, 12} {
+		par := inst.ParallelExhaustiveCheck(3, fault.Vertices, 1, workers)
+		if par == nil {
+			t.Fatalf("workers=%d: parallel check should fail", workers)
+		}
+		if par.Error() != seq.Error() {
+			t.Errorf("workers=%d: %q != sequential %q", workers, par.Error(), seq.Error())
+		}
+	}
+}
+
+func TestParallelExhaustiveEdgeMode(t *testing.T) {
+	g := gen.Complete(6)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept)
+	if err := inst.ParallelExhaustiveCheck(3, fault.Edges, 2, 4); err != nil {
+		t.Errorf("identity spanner must pass: %v", err)
+	}
+}
+
+func TestParallelMatchesSequentialVerdict(t *testing.T) {
+	// On a correct FT spanner both must pass with any seeds.
+	g := gen.Complete(9)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept)
+	for seed := int64(0); seed < 5; seed++ {
+		seq := inst.RandomCheck(3, fault.Edges, 2, 50, rand.New(rand.NewSource(seed)))
+		par := inst.ParallelRandomCheck(3, fault.Edges, 2, 50, 4, rand.New(rand.NewSource(seed)))
+		if (seq == nil) != (par == nil) {
+			t.Errorf("seed %d: sequential %v vs parallel %v", seed, seq, par)
+		}
+	}
+}

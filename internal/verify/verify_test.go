@@ -1,0 +1,391 @@
+package verify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/gen"
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/sssp"
+)
+
+// subInstance builds an Instance from g and a list of kept edge IDs.
+func subInstance(t *testing.T, g *graph.Graph, kept []int) *Instance {
+	t.Helper()
+	h := graph.New(g.NumVertices())
+	for _, gid := range kept {
+		e := g.Edge(gid)
+		h.MustAddEdge(e.U, e.V, e.Weight)
+	}
+	inst, err := NewInstance(g, h, kept)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	g := gen.Complete(4)
+	h := graph.New(4)
+	h.MustAddEdge(0, 1, 1)
+
+	if _, err := NewInstance(nil, h, []int{0}); err == nil {
+		t.Error("nil G should error")
+	}
+	if _, err := NewInstance(g, nil, []int{0}); err == nil {
+		t.Error("nil H should error")
+	}
+	if _, err := NewInstance(g, h, nil); err == nil {
+		t.Error("short mapping should error")
+	}
+	if _, err := NewInstance(g, h, []int{99}); err == nil {
+		t.Error("out-of-range mapping should error")
+	}
+	// Mismatched endpoints: map H's (0,1) to G's (0,2) edge.
+	gid := -1
+	for _, e := range g.Edges() {
+		if (e.U == 0 && e.V == 2) || (e.U == 2 && e.V == 0) {
+			gid = e.ID
+		}
+	}
+	if _, err := NewInstance(g, h, []int{gid}); err == nil {
+		t.Error("endpoint mismatch should error")
+	}
+	small := graph.New(3)
+	if _, err := NewInstance(g, small, nil); err == nil {
+		t.Error("vertex count mismatch should error")
+	}
+}
+
+func TestCheckFaultSetNoFaults(t *testing.T) {
+	// C4: keeping 3 of 4 edges is a 3-spanner (detour of length 3).
+	g, err := gen.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := subInstance(t, g, []int{0, 1, 2})
+	if err := inst.CheckFaultSet(3, fault.Vertices, nil); err != nil {
+		t.Errorf("3-edge path should 3-span C4: %v", err)
+	}
+	err = inst.CheckFaultSet(2, fault.Vertices, nil)
+	var viol *Violation
+	if !errors.As(err, &viol) {
+		t.Fatalf("stretch 2 should fail with a Violation, got %v", err)
+	}
+	if viol.Dist != 3 {
+		t.Errorf("violation dist = %v, want 3", viol.Dist)
+	}
+	if viol.Error() == "" {
+		t.Error("violation message empty")
+	}
+}
+
+func TestCheckFaultSetVertexFault(t *testing.T) {
+	// Diamond: G has paths 0-1-3 (w2) and 0-2-3 (w4) plus direct 0-3 (w2.5).
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)   // 0
+	g.MustAddEdge(1, 3, 1)   // 1
+	g.MustAddEdge(0, 2, 2)   // 2
+	g.MustAddEdge(2, 3, 2)   // 3
+	g.MustAddEdge(0, 3, 2.5) // 4
+
+	// H = both indirect paths, no direct edge.
+	inst := subInstance(t, g, []int{0, 1, 2, 3})
+	// No faults: edge (0,3) w=2.5 has detour 2 via 0-1-3: stretch 0.8. Fine.
+	if err := inst.CheckFaultSet(1.2, fault.Vertices, nil); err != nil {
+		t.Errorf("no-fault check failed: %v", err)
+	}
+	// Fault vertex 1: detour for (0,3) becomes 4: needs stretch >= 4/2.5.
+	if err := inst.CheckFaultSet(1.2, fault.Vertices, []int{1}); err == nil {
+		t.Error("faulting vertex 1 should violate stretch 1.2")
+	}
+	if err := inst.CheckFaultSet(1.7, fault.Vertices, []int{1}); err != nil {
+		t.Errorf("stretch 1.7 should survive vertex 1 fault: %v", err)
+	}
+	// Fault both internal vertices: edge (0,3) survives, H\F disconnects it.
+	if err := inst.CheckFaultSet(100, fault.Vertices, []int{1, 2}); err == nil {
+		t.Error("disconnecting faults should be caught")
+	}
+}
+
+func TestCheckFaultSetEdgeFault(t *testing.T) {
+	g, err := gen.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H = path 0-1-2-3 (edges 0,1,2); the cycle edge 3 = (3,0) is dropped.
+	inst := subInstance(t, g, []int{0, 1, 2})
+	// No faults: (3,0) has detour 3 through the path.
+	if err := inst.CheckFaultSet(3, fault.Edges, nil); err != nil {
+		t.Errorf("path should 3-span C4: %v", err)
+	}
+	if err := inst.CheckFaultSet(2, fault.Edges, nil); err == nil {
+		t.Error("stretch 2 should fail with no faults")
+	}
+	// Faulting the dropped edge itself removes it from the requirement:
+	// everything else is present in H, so even stretch 1 holds.
+	if err := inst.CheckFaultSet(1, fault.Edges, []int{3}); err != nil {
+		t.Errorf("faulting the missing edge should make the check trivial: %v", err)
+	}
+	// Faulting a middle path edge disconnects the surviving edge (3,0).
+	if err := inst.CheckFaultSet(100, fault.Edges, []int{1}); err == nil {
+		t.Error("cutting the only detour must be caught")
+	}
+}
+
+func TestCheckFaultSetInputErrors(t *testing.T) {
+	g := gen.Complete(4)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept)
+	if err := inst.CheckFaultSet(0.5, fault.Vertices, nil); err == nil {
+		t.Error("stretch < 1 should error")
+	}
+	if err := inst.CheckFaultSet(2, fault.Vertices, []int{-1}); err == nil {
+		t.Error("negative fault vertex should error")
+	}
+	if err := inst.CheckFaultSet(2, fault.Edges, []int{999}); err == nil {
+		t.Error("out-of-range fault edge should error")
+	}
+	if err := inst.CheckFaultSet(2, fault.Mode(0), nil); err == nil {
+		t.Error("invalid mode should error")
+	}
+}
+
+func TestWorstEdgeStretch(t *testing.T) {
+	g, err := gen.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := subInstance(t, g, []int{0, 1, 2, 3}) // drop one edge: detour 4
+	got, err := inst.WorstEdgeStretch(fault.Vertices, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("WorstEdgeStretch = %v, want 4", got)
+	}
+	// Fault an internal vertex of the detour: survivors get disconnected.
+	got, err = inst.WorstEdgeStretch(fault.Vertices, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("WorstEdgeStretch with cut = %v, want +Inf", got)
+	}
+}
+
+func TestWorstEdgeStretchPerfect(t *testing.T) {
+	g := gen.Complete(5)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept)
+	got, err := inst.WorstEdgeStretch(fault.Edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("identity spanner stretch = %v, want 1", got)
+	}
+}
+
+func TestExhaustiveCheckFindsPlantedViolation(t *testing.T) {
+	// Star: H misses one leaf edge; with f=0 that's immediately violated...
+	// make it subtler: H = star minus nothing, but G has an extra edge
+	// (1,2) that H lacks; faulting center 0 leaves (1,2) with no detour.
+	g := gen.Star(4) // edges (0,1),(0,2),(0,3)
+	extra := g.MustAddEdge(1, 2, 1)
+	_ = extra
+	inst := subInstance(t, g, []int{0, 1, 2}) // star only
+	if err := inst.ExhaustiveCheck(3, fault.Vertices, 0); err != nil {
+		t.Errorf("no faults: star 3-spans G? should hold: %v", err)
+	}
+	err := inst.ExhaustiveCheck(3, fault.Vertices, 1)
+	var viol *Violation
+	if !errors.As(err, &viol) {
+		t.Fatalf("want a Violation under one fault, got %v", err)
+	}
+	if len(viol.F) != 1 || viol.F[0] != 0 {
+		t.Errorf("violating fault set = %v, want [0]", viol.F)
+	}
+}
+
+func TestRandomAndAdversarialChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.Complete(7)
+	kept := make([]int, g.NumEdges())
+	for i := range kept {
+		kept[i] = i
+	}
+	inst := subInstance(t, g, kept) // H = G: tolerates anything
+	if err := inst.RandomCheck(3, fault.Vertices, 2, 50, rng); err != nil {
+		t.Errorf("identity spanner failed random check: %v", err)
+	}
+	if err := inst.AdversarialCheck(3, fault.Edges, 2, 20, rng); err != nil {
+		t.Errorf("identity spanner failed adversarial check: %v", err)
+	}
+
+	// A fragile spanner: C6 as H for G = C6 + chords.
+	g2, err := gen.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.MustAddEdge(0, 3, 1)
+	inst2 := subInstance(t, g2, []int{0, 1, 2, 3, 4, 5})
+	// The chord (0,3) has detour 3 in H; fault any cycle vertex on that arc
+	// and the detour becomes 3 the other way; fault one vertex per side and
+	// it disconnects. Adversarial search should find a violation at
+	// stretch 3 with f=2.
+	if err := inst2.AdversarialCheck(3, fault.Vertices, 2, 200, rng); err == nil {
+		t.Error("adversarial check should break the fragile spanner")
+	}
+}
+
+// TestCertificateLemma validates the per-edge certificate against the
+// all-pairs definition of a spanner on random instances with random faults.
+func TestCertificateLemma(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		maxM := n * (n - 1) / 2
+		m := (n - 1) + rng.Intn(maxM-(n-1)+1)
+		base, err := gen.ConnectedGNM(n, m, rng)
+		if err != nil {
+			return false
+		}
+		g, err := gen.RandomizeWeights(base, 1, 3, rng)
+		if err != nil {
+			return false
+		}
+		// Random subgraph H of G (keep each edge with prob 0.7).
+		var kept []int
+		for _, e := range g.Edges() {
+			if rng.Float64() < 0.7 {
+				kept = append(kept, e.ID)
+			}
+		}
+		h := graph.New(n)
+		for _, gid := range kept {
+			e := g.Edge(gid)
+			h.MustAddEdge(e.U, e.V, e.Weight)
+		}
+		inst, err := NewInstance(g, h, kept)
+		if err != nil {
+			return false
+		}
+		mode := fault.Vertices
+		if rng.Intn(2) == 0 {
+			mode = fault.Edges
+		}
+		universe := n
+		if mode == fault.Edges {
+			universe = g.NumEdges()
+		}
+		faults := rng.Perm(universe)[:rng.Intn(3)]
+		stretch := 1 + 3*rng.Float64()
+
+		perEdge := inst.CheckFaultSet(stretch, mode, faults) == nil
+		allPairs := allPairsSpanner(g, h, kept, stretch, mode, faults)
+		return perEdge == allPairs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// allPairsSpanner checks Definition 1 for H\F vs G\F literally over all
+// vertex pairs.
+func allPairsSpanner(g, h *graph.Graph, hEdgeToG []int, stretch float64, mode fault.Mode, faults []int) bool {
+	n := g.NumVertices()
+	gOpts := sssp.Options{}
+	hOpts := sssp.Options{}
+	switch mode {
+	case fault.Vertices:
+		fv := bitset.FromSlice(n, faults)
+		gOpts.ForbiddenVertices = fv
+		hOpts.ForbiddenVertices = fv
+	case fault.Edges:
+		fg := bitset.FromSlice(g.NumEdges(), faults)
+		gOpts.ForbiddenEdges = fg
+		fh := bitset.New(h.NumEdges())
+		for hid, gid := range hEdgeToG {
+			if fg.Contains(gid) {
+				fh.Add(hid)
+			}
+		}
+		hOpts.ForbiddenEdges = fh
+	}
+	inF := func(v int) bool {
+		return mode == fault.Vertices && gOpts.ForbiddenVertices.Contains(v)
+	}
+	for s := 0; s < n; s++ {
+		if inF(s) {
+			continue
+		}
+		dg, err := sssp.AllDists(g, s, gOpts)
+		if err != nil {
+			return false
+		}
+		dh, err := sssp.AllDists(h, s, hOpts)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if v == s || inF(v) || math.IsInf(dg[v], 1) {
+				continue
+			}
+			if dh[v] > stretch*dg[v]+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCombinationsEnumeration(t *testing.T) {
+	var got [][]int
+	combinations(4, 2, func(c []int) bool {
+		got = append(got, append([]int(nil), c...))
+		return true
+	})
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	combinations(5, 2, func([]int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+	// Degenerate cases.
+	count = 0
+	combinations(3, 0, func(c []int) bool {
+		count++
+		return len(c) == 0
+	})
+	if count != 1 {
+		t.Errorf("k=0 should visit the empty set once, visited %d", count)
+	}
+	combinations(2, 5, func([]int) bool {
+		t.Error("k > n should visit nothing")
+		return false
+	})
+}
