@@ -1,0 +1,82 @@
+// Command ftserve runs the fault-tolerant spanner build service: an
+// HTTP/JSON API that queues build jobs onto a bounded worker pool and
+// serves repeated requests from an LRU result cache.
+//
+// Usage:
+//
+//	ftserve [-addr :8437] [-workers 4] [-queue 64] [-cache 128] [-max-body 8388608]
+//
+// See the repository README for the endpoint reference and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/service"
+)
+
+// options is the parsed command line.
+type options struct {
+	addr string
+	cfg  service.Config
+}
+
+// parseArgs parses argv (without the program name) into options.
+func parseArgs(args []string) (options, error) {
+	fs := flag.NewFlagSet("ftserve", flag.ContinueOnError)
+	var opts options
+	fs.StringVar(&opts.addr, "addr", ":8437", "listen address")
+	fs.IntVar(&opts.cfg.Workers, "workers", 4, "build worker pool size")
+	fs.IntVar(&opts.cfg.QueueDepth, "queue", 64, "job queue capacity; submissions beyond it get 503")
+	fs.IntVar(&opts.cfg.CacheEntries, "cache", 128, "result LRU cache entries")
+	fs.Int64Var(&opts.cfg.MaxBodyBytes, "max-body", 8<<20, "request body size limit in bytes")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() != 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if opts.cfg.Workers < 1 || opts.cfg.QueueDepth < 1 || opts.cfg.CacheEntries < 1 || opts.cfg.MaxBodyBytes < 1 {
+		return options{}, fmt.Errorf("workers, queue, cache, and max-body must all be positive")
+	}
+	return opts, nil
+}
+
+func main() {
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatalf("ftserve: %v", err)
+	}
+
+	svc := service.New(opts.cfg)
+	httpSrv := &http.Server{Addr: opts.addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("ftserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("ftserve: listening on %s (workers=%d queue=%d cache=%d)",
+		opts.addr, opts.cfg.Workers, opts.cfg.QueueDepth, opts.cfg.CacheEntries)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ftserve: %v", err)
+	}
+	svc.Close()
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseArgsDefaults(t *testing.T) {
+	opts, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":8437" {
+		t.Errorf("default addr %q", opts.addr)
+	}
+	if opts.cfg.Workers != 4 || opts.cfg.QueueDepth != 64 || opts.cfg.CacheEntries != 128 || opts.cfg.MaxBodyBytes != 8<<20 {
+		t.Errorf("default config %+v", opts.cfg)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	opts, err := parseArgs([]string{"-addr", "127.0.0.1:9000", "-workers", "8", "-queue", "2", "-cache", "16", "-max-body", "1024"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != "127.0.0.1:9000" || opts.cfg.Workers != 8 || opts.cfg.QueueDepth != 2 ||
+		opts.cfg.CacheEntries != 16 || opts.cfg.MaxBodyBytes != 1024 {
+		t.Errorf("parsed %+v", opts)
+	}
+}
+
+func TestParseArgsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-queue", "-1"},
+		{"-cache", "0"},
+		{"-max-body", "0"},
+		{"stray"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) accepted invalid input", args)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"github.com/ftspanner/ftspanner/internal/fault"
 	"github.com/ftspanner/ftspanner/internal/gen"
 	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/service"
 	"github.com/ftspanner/ftspanner/internal/verify"
 )
 
@@ -75,11 +76,41 @@ const (
 	EdgeFaults = fault.Edges
 )
 
+// Serving types, re-exported for the ftserve HTTP service.
+type (
+	// ServerConfig sizes a spanner-build Server (workers, queue, cache).
+	ServerConfig = service.Config
+	// Server is the ftserve HTTP job service: an http.Handler with a FIFO
+	// job queue, bounded worker pool, and LRU result cache.
+	Server = service.Server
+	// JobSpec describes one build job submitted to a Server.
+	JobSpec = service.JobSpec
+	// GeneratorSpec names a server-side graph generator in a JobSpec.
+	GeneratorSpec = service.GeneratorSpec
+	// CacheKey identifies a build result in a Server's cache: the input
+	// graph's content digest plus every output-relevant parameter.
+	CacheKey = service.CacheKey
+	// MetricsSnapshot is a Server's GET /metrics payload.
+	MetricsSnapshot = service.MetricsSnapshot
+)
+
 // NewGraph returns an empty graph on n isolated vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
 // DecodeGraph parses a graph from the text format written by Graph.Encode.
 func DecodeGraph(r io.Reader) (*Graph, error) { return graph.Decode(r) }
+
+// GraphDigest returns g's stable SHA-256 content digest (Graph.Digest):
+// the cache and persistence key for results computed from g.
+func GraphDigest(g *Graph) string { return g.Digest() }
+
+// NewServer returns a spanner-build HTTP service with its worker pool
+// already running; release it with Close. Serve it with net/http:
+//
+//	srv := ftspanner.NewServer(ftspanner.ServerConfig{Workers: 8})
+//	defer srv.Close()
+//	http.ListenAndServe(":8437", srv)
+func NewServer(cfg ServerConfig) *Server { return service.New(cfg) }
 
 // Build runs the fault-tolerant greedy algorithm with full control over the
 // options. Most callers use BuildVFT or BuildEFT.

@@ -1,0 +1,3 @@
+module github.com/ftspanner/ftspanner
+
+go 1.24

@@ -62,6 +62,11 @@ func GreedyConservative(g *graph.Graph, opts Options) (*Result, error) {
 		Faults:  opts.Faults,
 	}
 	for _, e := range g.EdgesByWeight() {
+		if opts.Progress != nil {
+			if err := opts.Progress(res.Stats.EdgesScanned, len(res.Kept)); err != nil {
+				return nil, err
+			}
+		}
 		res.Stats.EdgesScanned++
 		count, err := oracle.CountDisjointShortPaths(e.U, e.V, opts.Stretch*e.Weight, opts.Faults+1)
 		if err != nil {

@@ -34,6 +34,12 @@ type Options struct {
 	// Oracle tunes the fault-set search (pruning/memoization ablations).
 	// Oracle.EdgeCapacity is set internally.
 	Oracle fault.Options
+	// Progress, if non-nil, is invoked before each edge scan with the
+	// number of edges scanned and kept so far. Returning a non-nil error
+	// aborts the build and the greedy returns that error unchanged — the
+	// hook is how long-running builds report progress and honor context
+	// cancellation without the core depending on context directly.
+	Progress func(scanned, kept int) error
 }
 
 // Stats captures instrumentation of a run.
@@ -108,6 +114,11 @@ func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 	hToInput := make([]int, 0, g.NumEdges()) // spanner edge ID -> input edge ID
 
 	for _, e := range g.EdgesByWeight() {
+		if opts.Progress != nil {
+			if err := opts.Progress(res.Stats.EdgesScanned, len(res.Kept)); err != nil {
+				return nil, err
+			}
+		}
 		res.Stats.EdgesScanned++
 		witness, found, err := oracle.FindFaultSet(e.U, e.V, opts.Stretch*e.Weight, opts.Faults)
 		if err != nil {

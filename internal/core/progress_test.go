@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/gen"
+)
+
+func TestProgressCalledPerEdge(t *testing.T) {
+	g := gen.Complete(8)
+	for _, run := range []struct {
+		name  string
+		build func(opts Options) (*Result, error)
+	}{
+		{"greedy", func(opts Options) (*Result, error) { return Greedy(g, opts) }},
+		{"conservative", func(opts Options) (*Result, error) { return GreedyConservative(g, opts) }},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			var calls int
+			lastScanned := -1
+			res, err := run.build(Options{
+				Stretch: 3, Faults: 1, Mode: fault.Vertices,
+				Progress: func(scanned, kept int) error {
+					if scanned != lastScanned+1 {
+						t.Errorf("scanned jumped from %d to %d", lastScanned, scanned)
+					}
+					if kept < 0 || kept > scanned {
+						t.Errorf("kept=%d out of range for scanned=%d", kept, scanned)
+					}
+					lastScanned = scanned
+					calls++
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if calls != g.NumEdges() {
+				t.Errorf("progress called %d times, want %d", calls, g.NumEdges())
+			}
+			if res.Stats.EdgesScanned != g.NumEdges() {
+				t.Errorf("scanned %d edges, want %d", res.Stats.EdgesScanned, g.NumEdges())
+			}
+		})
+	}
+}
+
+func TestProgressErrorAbortsBuild(t *testing.T) {
+	g := gen.Complete(8)
+	abort := errors.New("abort requested")
+	for _, run := range []struct {
+		name  string
+		build func(opts Options) (*Result, error)
+	}{
+		{"greedy", func(opts Options) (*Result, error) { return Greedy(g, opts) }},
+		{"conservative", func(opts Options) (*Result, error) { return GreedyConservative(g, opts) }},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			var calls int
+			res, err := run.build(Options{
+				Stretch: 3, Faults: 1, Mode: fault.Vertices,
+				Progress: func(scanned, kept int) error {
+					calls++
+					if scanned >= 3 {
+						return abort
+					}
+					return nil
+				},
+			})
+			if !errors.Is(err, abort) {
+				t.Fatalf("got err %v, want the hook's abort error", err)
+			}
+			if res != nil {
+				t.Fatal("aborted build returned a result")
+			}
+			if calls != 4 {
+				t.Errorf("progress called %d times before abort, want 4", calls)
+			}
+		})
+	}
+}

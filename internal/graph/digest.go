@@ -1,0 +1,22 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns a stable 64-hex-character SHA-256 content digest of the
+// graph: the vertex count plus every edge's endpoints and weight, in edge-ID
+// order. Two graphs share a digest exactly when they are equal up to an
+// Encode/Decode round trip; any change to the vertex count, topology,
+// weights, or edge numbering changes the digest.
+//
+// The digest is the canonical cache and persistence key for build results
+// keyed by input graph.
+func (g *Graph) Digest() string {
+	h := sha256.New()
+	// Encode writes the canonical "p"/"e" text form; writes to a hash never
+	// fail.
+	_ = g.Encode(h)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"regexp"
+	"testing"
+)
+
+func digestGraph(t *testing.T, n int, edges [][3]float64) *Graph {
+	t.Helper()
+	g := New(n)
+	for _, e := range edges {
+		g.MustAddEdge(int(e[0]), int(e[1]), e[2])
+	}
+	return g
+}
+
+func TestDigestFormat(t *testing.T) {
+	d := New(0).Digest()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(d) {
+		t.Fatalf("digest %q is not 64 hex chars", d)
+	}
+}
+
+func TestDigestEqualGraphsAgree(t *testing.T) {
+	edges := [][3]float64{{0, 1, 1}, {1, 2, 2.5}, {0, 2, 3}}
+	a := digestGraph(t, 3, edges)
+	b := digestGraph(t, 3, edges)
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical graphs produced different digests")
+	}
+	if a.Digest() != a.Clone().Digest() {
+		t.Fatal("clone changed the digest")
+	}
+}
+
+func TestDigestDistinguishes(t *testing.T) {
+	base := digestGraph(t, 3, [][3]float64{{0, 1, 1}, {1, 2, 2}})
+	variants := map[string]*Graph{
+		"extra vertex":     digestGraph(t, 4, [][3]float64{{0, 1, 1}, {1, 2, 2}}),
+		"different weight": digestGraph(t, 3, [][3]float64{{0, 1, 1}, {1, 2, 3}}),
+		"different edge":   digestGraph(t, 3, [][3]float64{{0, 1, 1}, {0, 2, 2}}),
+		"edge order":       digestGraph(t, 3, [][3]float64{{1, 2, 2}, {0, 1, 1}}),
+		"missing edge":     digestGraph(t, 3, [][3]float64{{0, 1, 1}}),
+	}
+	for name, g := range variants {
+		if g.Digest() == base.Digest() {
+			t.Errorf("%s: digest collision with base graph", name)
+		}
+	}
+}
+
+func TestDigestStableAcrossCalls(t *testing.T) {
+	g := digestGraph(t, 5, [][3]float64{{0, 1, 1}, {1, 2, 1}, {2, 3, 0.5}, {3, 4, 7}})
+	if g.Digest() != g.Digest() {
+		t.Fatal("digest is not deterministic")
+	}
+}

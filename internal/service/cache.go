@@ -1,0 +1,80 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheKey identifies a build result: the input graph's content digest plus
+// every parameter that changes the output. Seed is zeroed for deterministic
+// algorithms so resubmissions hit regardless of the client's seed field.
+type CacheKey struct {
+	Digest    string
+	Stretch   float64
+	Faults    int
+	Mode      string
+	Algorithm string
+	Seed      int64
+}
+
+// lruCache is a fixed-capacity least-recently-used map from CacheKey to
+// completed build results. Safe for concurrent use.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; element values are *lruEntry
+	m   map[CacheKey]*list.Element
+}
+
+type lruEntry struct {
+	key CacheKey
+	val *buildResult
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[CacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for k, marking it most recently used.
+func (c *lruCache) Get(k CacheKey) (*buildResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes k, evicting the least recently used entry when
+// over capacity.
+func (c *lruCache) Put(k CacheKey, v *buildResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

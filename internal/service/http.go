@@ -1,0 +1,320 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+
+	"github.com/ftspanner/ftspanner/internal/verify"
+)
+
+// maxVerifyTrials bounds one POST /v1/verify request's work.
+const maxVerifyTrials = 10000
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/spanner", s.handleSpanner)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse answers POST /v1/jobs.
+type submitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Cached is true when the job was answered from the result cache
+	// without queueing a build.
+	Cached bool `json:"cached"`
+	// Deduplicated is true when the submission was coalesced onto an
+	// identical job already queued or running; ID names that job.
+	Deduplicated bool `json:"deduplicated"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if err := normalizeSpec(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	job, dedup, err := s.submit(spec)
+	if err != nil {
+		var se *submitError
+		if errors.As(err, &se) {
+			writeError(w, se.status, "%s", se.msg)
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	job.mu.Lock()
+	resp := submitResponse{ID: job.id, State: job.state, Cached: job.cached, Deduplicated: dedup}
+	job.mu.Unlock()
+	if resp.State == StateQueued && !dedup {
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusResponse answers GET /v1/jobs/{id}.
+type statusResponse struct {
+	ID           string     `json:"id"`
+	State        State      `json:"state"`
+	Algorithm    string     `json:"algorithm"`
+	Mode         string     `json:"mode"`
+	Stretch      float64    `json:"stretch"`
+	Faults       int        `json:"faults"`
+	GraphDigest  string     `json:"graph_digest"`
+	Vertices     int        `json:"vertices"`
+	InputEdges   int        `json:"input_edges"`
+	Cached       bool       `json:"cached"`
+	SpannerEdges *int       `json:"spanner_edges,omitempty"`
+	Stats        *statsBody `json:"stats,omitempty"`
+	Error        string     `json:"error,omitempty"`
+}
+
+// statsBody is core.Stats in JSON form.
+type statsBody struct {
+	EdgesScanned int     `json:"edges_scanned"`
+	OracleCalls  int64   `json:"oracle_calls"`
+	Dijkstras    int64   `json:"dijkstras"`
+	DurationMS   float64 `json:"duration_ms"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	job.mu.Lock()
+	resp := statusResponse{
+		ID:          job.id,
+		State:       job.state,
+		Algorithm:   job.spec.Algorithm,
+		Mode:        job.spec.Mode,
+		Stretch:     job.spec.Stretch,
+		Faults:      job.spec.Faults,
+		GraphDigest: job.key.Digest,
+		Vertices:    job.graph.NumVertices(),
+		InputEdges:  job.graph.NumEdges(),
+		Cached:      job.cached,
+	}
+	if job.err != nil {
+		resp.Error = job.err.Error()
+	}
+	if job.result != nil {
+		m := job.result.spanner.NumEdges()
+		resp.SpannerEdges = &m
+		st := job.result.stats
+		resp.Stats = &statsBody{
+			EdgesScanned: st.EdgesScanned,
+			OracleCalls:  st.OracleCalls,
+			Dijkstras:    st.Dijkstras,
+			DurationMS:   float64(st.Duration.Microseconds()) / 1000,
+		}
+	}
+	job.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// spannerResponse answers GET /v1/jobs/{id}/spanner.
+type spannerResponse struct {
+	ID string `json:"id"`
+	// Spanner is the built subgraph in the Graph.Encode text format.
+	Spanner string `json:"spanner"`
+	// Kept lists the input edge IDs retained, in spanner edge-ID order.
+	Kept []int `json:"kept"`
+}
+
+func (s *Server) handleSpanner(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	job.mu.Lock()
+	state, res := job.state, job.result
+	job.mu.Unlock()
+	if res == nil {
+		writeError(w, http.StatusConflict, "job %s is %s, not done", job.id, state)
+		return
+	}
+	var sb strings.Builder
+	if err := res.spanner.Encode(&sb); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	kept := res.kept
+	if kept == nil {
+		kept = []int{}
+	}
+	writeJSON(w, http.StatusOK, spannerResponse{ID: job.id, Spanner: sb.String(), Kept: kept})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		evs, updated, terminal := job.eventsSince(from)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		from += len(evs)
+		if fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// cancelResponse answers DELETE /v1/jobs/{id}.
+type cancelResponse struct {
+	ID string `json:"id"`
+	// State is the job's state when the cancel was applied; "queued" jobs
+	// turn cancelled immediately, "running" jobs shortly after.
+	State State `json:"state"`
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	st := s.cancelJob(job)
+	writeJSON(w, http.StatusAccepted, cancelResponse{ID: job.id, State: st})
+}
+
+// verifyRequest is the POST /v1/verify body.
+type verifyRequest struct {
+	// JobID names a completed job to verify.
+	JobID string `json:"job_id"`
+	// Trials is the number of random fault sets to draw (default 32).
+	Trials int `json:"trials,omitempty"`
+	// Seed makes the check reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers sizes the verification pool (default GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// verifyResponse reports a random-fault check.
+type verifyResponse struct {
+	JobID  string `json:"job_id"`
+	Trials int    `json:"trials"`
+	OK     bool   `json:"ok"`
+	// Violation describes the broken guarantee when OK is false.
+	Violation string `json:"violation,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req verifyRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad verify request: %v", err)
+		return
+	}
+	if req.Trials <= 0 {
+		req.Trials = 32
+	}
+	// Verification runs synchronously on the request goroutine, so bound
+	// the client-controlled work instead of letting one request monopolize
+	// the host.
+	if req.Trials > maxVerifyTrials {
+		writeError(w, http.StatusBadRequest, "trials must be at most %d, got %d", maxVerifyTrials, req.Trials)
+		return
+	}
+	if req.Workers > runtime.GOMAXPROCS(0) {
+		req.Workers = runtime.GOMAXPROCS(0)
+	}
+	job, ok := s.job(req.JobID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", req.JobID)
+		return
+	}
+	job.mu.Lock()
+	state, res, spec := job.state, job.result, job.spec
+	job.mu.Unlock()
+	if res == nil {
+		writeError(w, http.StatusConflict, "job %s is %s, not done", job.id, state)
+		return
+	}
+	mode, err := parseMode(spec.Mode)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	inst, err := verify.NewInstance(res.input, res.spanner, res.kept)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "verifier: %v", err)
+		return
+	}
+	resp := verifyResponse{JobID: job.id, Trials: req.Trials, OK: true}
+	err = inst.ParallelRandomCheck(spec.Stretch, mode, spec.Faults, req.Trials, req.Workers, newRand(req.Seed))
+	if err != nil {
+		var v *verify.Violation
+		if !errors.As(err, &v) {
+			writeError(w, http.StatusInternalServerError, "verify: %v", err)
+			return
+		}
+		resp.OK = false
+		resp.Violation = v.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"github.com/ftspanner/ftspanner/internal/core"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// State is the lifecycle state of a job.
+type State string
+
+// Job lifecycle states. A job moves queued -> running -> one of the three
+// terminal states; cache hits are born done.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Algorithm names accepted in JobSpec.Algorithm.
+const (
+	AlgoGreedy       = "greedy"       // exact fault-tolerant greedy (the paper's Algorithm 1)
+	AlgoConservative = "conservative" // polynomial-time conservative greedy
+	AlgoUnionEFT     = "union-eft"    // union-of-spanners EFT baseline
+	AlgoSamplingVFT  = "sampling-vft" // Dinitz–Krauthgamer-style sampling VFT baseline
+)
+
+// JobSpec is the client-visible description of one spanner-build job, as
+// submitted to POST /v1/jobs. Exactly one of Graph and Generator must be
+// set.
+type JobSpec struct {
+	// Graph is the input graph inline, in the Graph.Encode text format.
+	Graph string `json:"graph,omitempty"`
+	// Generator names a server-side graph generator instead.
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	// Stretch is the spanner parameter k >= 1.
+	Stretch float64 `json:"stretch"`
+	// Faults is the fault-tolerance parameter f >= 0.
+	Faults int `json:"faults"`
+	// Mode is "vertex" (default) or "edge".
+	Mode string `json:"mode,omitempty"`
+	// Algorithm selects the construction; default "greedy".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed drives randomized algorithms (sampling-vft). Deterministic
+	// algorithms ignore it, and it does not affect their cache key.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// GeneratorSpec names a server-side graph generator and its parameters.
+type GeneratorSpec struct {
+	// Name is one of "complete", "grid", "random", "geometric".
+	Name string `json:"name"`
+	// N is the vertex count (complete, random, geometric).
+	N int `json:"n,omitempty"`
+	// M is the edge count (random).
+	M int `json:"m,omitempty"`
+	// Rows and Cols size the grid generator.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Radius is the connection radius (geometric).
+	Radius float64 `json:"radius,omitempty"`
+	// Seed drives the randomized generators (random, geometric).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Event is one NDJSON record of a job's GET /v1/jobs/{id}/events stream.
+type Event struct {
+	Seq     int    `json:"seq"`
+	State   State  `json:"state"`
+	Scanned int    `json:"scanned"`
+	Kept    int    `json:"kept"`
+	Error   string `json:"error,omitempty"`
+}
+
+// buildResult is the normalized output of any algorithm: enough to encode
+// the spanner, report instrumentation, and re-verify the result later.
+type buildResult struct {
+	input   *graph.Graph
+	spanner *graph.Graph
+	kept    []int
+	stats   core.Stats
+}
+
+// Job is one submitted build with its full lifecycle: queue position,
+// cancellation handle, event log for streaming, and final result.
+type Job struct {
+	id    string
+	key   CacheKey
+	spec  JobSpec
+	graph *graph.Graph
+
+	// progressEvery throttles running-state events to one per this many
+	// scanned edges.
+	progressEvery int
+
+	mu      sync.Mutex
+	state   State
+	events  []Event
+	updated chan struct{} // closed and replaced on every event append
+	cancel  context.CancelFunc
+	result  *buildResult
+	err     error
+	cached  bool
+	done    chan struct{} // closed on entering a terminal state
+}
+
+func newJob(id string, key CacheKey, spec JobSpec, g *graph.Graph) *Job {
+	every := 1
+	if g != nil {
+		if every = g.NumEdges() / 16; every < 1 {
+			every = 1
+		}
+	}
+	j := &Job{
+		id:            id,
+		key:           key,
+		spec:          spec,
+		graph:         g,
+		progressEvery: every,
+		state:         StateQueued,
+		updated:       make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	j.appendEventLocked(Event{State: StateQueued})
+	return j
+}
+
+// appendEventLocked stamps and appends e and wakes event streamers. The
+// caller holds j.mu (or, in newJob, exclusive ownership).
+func (j *Job) appendEventLocked(e Event) {
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// setStateLocked transitions the job and records the transition as an
+// event. The caller holds j.mu.
+func (j *Job) setStateLocked(s State, e Event) {
+	j.state = s
+	e.State = s
+	j.appendEventLocked(e)
+	if s.Terminal() {
+		close(j.done)
+	}
+}
+
+// progress records a throttled running-state event; it is the core.Options
+// Progress hook's reporting half.
+func (j *Job) progress(scanned, kept int) {
+	if scanned%j.progressEvery != 0 {
+		return
+	}
+	j.mu.Lock()
+	if j.state == StateRunning {
+		j.appendEventLocked(Event{State: StateRunning, Scanned: scanned, Kept: kept})
+	}
+	j.mu.Unlock()
+}
+
+// eventsSince returns a copy of the events from index from on, a channel
+// that is closed when more arrive, and whether the job is terminal.
+func (j *Job) eventsSince(from int) (evs []Event, updated <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		evs = append([]Event(nil), j.events[from:]...)
+	}
+	return evs, j.updated, j.state.Terminal()
+}

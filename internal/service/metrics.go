@@ -1,0 +1,86 @@
+package service
+
+import "sync/atomic"
+
+// metrics holds the server's monotonic counters. Gauges (queue depth, jobs
+// by state, cache entries) are computed at snapshot time from live state.
+type metrics struct {
+	jobsSubmitted atomic.Int64 // accepted submissions (incl. cache hits and dedups)
+	buildsRun     atomic.Int64 // builds actually dispatched to a worker
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	cacheHits     atomic.Int64 // submissions answered from the LRU
+	cacheMisses   atomic.Int64 // submissions that had to queue a build
+	dedups        atomic.Int64 // submissions coalesced onto an in-flight job
+	dijkstras     atomic.Int64 // total shortest-path runs across completed builds
+
+	buildsInFlight atomic.Int64 // builds currently occupying a worker slot
+	maxInFlight    atomic.Int64 // high-water mark of buildsInFlight
+}
+
+// buildStarted records a worker slot going busy and maintains the
+// concurrency high-water mark.
+func (m *metrics) buildStarted() {
+	n := m.buildsInFlight.Add(1)
+	for {
+		hw := m.maxInFlight.Load()
+		if n <= hw || m.maxInFlight.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+func (m *metrics) buildFinished() { m.buildsInFlight.Add(-1) }
+
+// MetricsSnapshot is the GET /metrics response.
+type MetricsSnapshot struct {
+	JobsSubmitted int64         `json:"jobs_submitted"`
+	BuildsRun     int64         `json:"builds_run"`
+	JobsByState   map[State]int `json:"jobs_by_state"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Workers       int           `json:"workers"`
+	CacheHits     int64         `json:"cache_hits"`
+	CacheMisses   int64         `json:"cache_misses"`
+	CacheHitRatio float64       `json:"cache_hit_ratio"`
+	CacheEntries  int           `json:"cache_entries"`
+	Deduplicated  int64         `json:"deduplicated"`
+	Dijkstras     int64         `json:"dijkstras_total"`
+	// BuildsInFlight and MaxConcurrentBuilds gauge worker-pool usage: how
+	// many builds hold a slot right now and the most that ever did at once.
+	BuildsInFlight      int64 `json:"builds_in_flight"`
+	MaxConcurrentBuilds int64 `json:"max_concurrent_builds"`
+}
+
+// Metrics returns a consistent point-in-time snapshot of the server's
+// counters and gauges.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		JobsSubmitted: s.met.jobsSubmitted.Load(),
+		BuildsRun:     s.met.buildsRun.Load(),
+		JobsByState:   make(map[State]int),
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		CacheHits:     s.met.cacheHits.Load(),
+		CacheMisses:   s.met.cacheMisses.Load(),
+		CacheEntries:  s.cache.Len(),
+		Deduplicated:  s.met.dedups.Load(),
+		Dijkstras:     s.met.dijkstras.Load(),
+
+		BuildsInFlight:      s.met.buildsInFlight.Load(),
+		MaxConcurrentBuilds: s.met.maxInFlight.Load(),
+	}
+	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
+		snap.CacheHitRatio = float64(snap.CacheHits) / float64(total)
+	}
+	s.mu.Lock()
+	snap.QueueDepth = len(s.pending)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		snap.JobsByState[j.state]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return snap
+}

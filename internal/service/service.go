@@ -1,0 +1,330 @@
+// Package service implements ftserve, the HTTP/JSON spanner-build service:
+// clients submit build jobs (input graph inline or by named generator), a
+// bounded worker pool drains a FIFO queue, per-job contexts make running
+// builds cancellable mid-scan, and completed results are served from an LRU
+// cache keyed by (graph digest, stretch, faults, mode, algorithm).
+//
+// Endpoints:
+//
+//	POST   /v1/jobs               submit a build job
+//	GET    /v1/jobs/{id}          job status and instrumentation
+//	GET    /v1/jobs/{id}/spanner  the built spanner and kept-edge IDs
+//	GET    /v1/jobs/{id}/events   NDJSON progress stream
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	POST   /v1/verify             random-fault check of a completed job
+//	GET    /metrics               queue, cache, and build counters
+//
+// The package is the architectural seam for scaling the repository into a
+// serving system: sharding, batching, and alternative backends all plug in
+// behind the same job API.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the size of the build worker pool (default 4).
+	Workers int
+	// QueueDepth bounds the FIFO job queue; submissions beyond it are
+	// rejected with 503 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result LRU cache (default 128).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies, which contain inline graphs
+	// (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Server is the ftserve HTTP handler plus its worker pool. Create one with
+// New and release it with Close.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *lruCache
+	met   metrics
+
+	// wake carries one token per enqueued job so idle workers notice new
+	// work; spurious tokens (for jobs cancelled while queued) just make a
+	// worker re-check an empty queue.
+	wake chan struct{}
+
+	mu      sync.Mutex
+	pending []*Job // the FIFO job queue; cancellation removes in place
+	jobs    map[string]*Job
+	active  map[CacheKey]*Job // queued or running, for in-flight dedup
+	nextID  int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New returns a Server with cfg's worker pool already running.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		wake:   make(chan struct{}, cfg.QueueDepth),
+		cache:  newLRU(cfg.CacheEntries),
+		jobs:   make(map[string]*Job),
+		active: make(map[CacheKey]*Job),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every in-flight build and waits for the workers to exit.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		if job := s.dequeue(); job != nil {
+			s.run(job)
+			continue
+		}
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.wake:
+		}
+	}
+}
+
+// dequeue pops the oldest pending job, or nil when the queue is empty.
+func (s *Server) dequeue() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return nil
+	}
+	job := s.pending[0]
+	s.pending = s.pending[1:]
+	return job
+}
+
+// run executes one dequeued job. The worker slot is held only until the
+// job's context is cancelled or the build returns, whichever is first: a
+// cancelled greedy build aborts at the next edge scan via the Progress
+// hook, and the baseline algorithms (which have no hook) are abandoned to
+// finish in the background with their result discarded.
+func (s *Server) run(job *Job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting in the queue
+		job.mu.Unlock()
+		return
+	}
+	job.cancel = cancel
+	job.setStateLocked(StateRunning, Event{})
+	job.mu.Unlock()
+	s.met.buildsRun.Add(1)
+	s.met.buildStarted()
+	defer s.met.buildFinished()
+
+	type outcome struct {
+		res *buildResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := build(ctx, job)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case <-ctx.Done():
+		s.finish(job, nil, context.Canceled)
+	case out := <-ch:
+		s.finish(job, out.res, out.err)
+	}
+}
+
+// finish moves a running job to its terminal state, updates the metrics,
+// and caches successful results. Late calls (a build result arriving after
+// cancellation already finished the job) are no-ops.
+func (s *Server) finish(job *Job, res *buildResult, err error) {
+	job.mu.Lock()
+	if job.state != StateRunning {
+		job.mu.Unlock()
+		return
+	}
+	switch {
+	case err == nil:
+		job.result = res
+		job.setStateLocked(StateDone, Event{Scanned: res.stats.EdgesScanned, Kept: len(res.kept)})
+	case errors.Is(err, context.Canceled):
+		job.setStateLocked(StateCancelled, Event{})
+	default:
+		job.err = err
+		job.setStateLocked(StateFailed, Event{Error: err.Error()})
+	}
+	job.mu.Unlock()
+
+	// Cache the result BEFORE releasing the dedup key: a duplicate
+	// submission racing this finish must find either the active job or the
+	// cached result, never a gap that triggers a full rebuild.
+	switch {
+	case err == nil:
+		s.met.jobsDone.Add(1)
+		s.met.dijkstras.Add(res.stats.Dijkstras)
+		s.cache.Put(job.key, res)
+	case errors.Is(err, context.Canceled):
+		s.met.jobsCancelled.Add(1)
+	default:
+		s.met.jobsFailed.Add(1)
+	}
+	s.dropActive(job)
+}
+
+// dropActive removes the job from the in-flight dedup index if it still
+// owns its key.
+func (s *Server) dropActive(job *Job) {
+	s.mu.Lock()
+	if s.active[job.key] == job {
+		delete(s.active, job.key)
+	}
+	s.mu.Unlock()
+}
+
+// unqueue removes a cancelled job from the pending FIFO so it stops
+// holding a queue slot. A no-op when a worker dequeued it first (the
+// worker's state check skips it).
+func (s *Server) unqueue(job *Job) {
+	s.mu.Lock()
+	for i, p := range s.pending {
+		if p == job {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// submitError is a client-visible submission failure with an HTTP status.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// submit registers a job for the normalized spec: an in-flight duplicate is
+// returned as-is (dedup true), a cached result produces a job born done,
+// and anything else is enqueued for the worker pool.
+func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
+	g, err := materialize(&spec)
+	if err != nil {
+		return nil, false, &submitError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	key := cacheKeyFor(spec, g)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dup := s.active[key]; dup != nil {
+		s.met.jobsSubmitted.Add(1)
+		s.met.dedups.Add(1)
+		return dup, true, nil
+	}
+	id := fmt.Sprintf("j%d", s.nextID+1)
+	if res, ok := s.cache.Get(key); ok {
+		job := newJob(id, key, spec, res.input)
+		job.mu.Lock()
+		job.result = res
+		job.cached = true
+		job.setStateLocked(StateDone, Event{Scanned: res.stats.EdgesScanned, Kept: len(res.kept)})
+		job.mu.Unlock()
+		s.nextID++
+		s.jobs[id] = job
+		s.met.jobsSubmitted.Add(1)
+		s.met.cacheHits.Add(1)
+		return job, false, nil
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		return nil, false, &submitError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("job queue full (%d queued)", len(s.pending))}
+	}
+	job = newJob(id, key, spec, g)
+	s.pending = append(s.pending, job)
+	s.nextID++
+	s.jobs[id] = job
+	s.active[key] = job
+	s.met.jobsSubmitted.Add(1)
+	s.met.cacheMisses.Add(1)
+	select {
+	case s.wake <- struct{}{}:
+	default: // wake already saturated; an awake worker will re-check
+	}
+	return job, false, nil
+}
+
+// job looks a job up by ID.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels a queued or running job; terminal jobs are left alone.
+// A queued job turns cancelled immediately and its queue slot frees right
+// away; a running job's context is cancelled and the worker records the
+// terminal state.
+func (s *Server) cancelJob(job *Job) State {
+	job.mu.Lock()
+	switch job.state {
+	case StateQueued:
+		job.setStateLocked(StateCancelled, Event{})
+		job.mu.Unlock()
+		s.unqueue(job)
+		s.dropActive(job)
+		s.met.jobsCancelled.Add(1)
+		return StateCancelled
+	case StateRunning:
+		cancel := job.cancel
+		job.mu.Unlock()
+		cancel()
+		return StateRunning
+	default:
+		st := job.state
+		job.mu.Unlock()
+		return st
+	}
+}

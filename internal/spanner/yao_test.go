@@ -89,6 +89,9 @@ func TestYaoGraphIsGeometricSpanner(t *testing.T) {
 }
 
 func TestYaoGraphFTFaultTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive fault-tolerance check skipped in -short mode")
+	}
 	rng := rand.New(rand.NewSource(3))
 	pts := randomPoints(60, rng)
 	const cones, f = 12, 2

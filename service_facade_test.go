@@ -1,0 +1,74 @@
+package ftspanner_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/ftspanner/ftspanner"
+)
+
+// TestServerFacade drives the re-exported HTTP service end to end through
+// the public facade only: build a job via the API and fetch its status.
+func TestServerFacade(t *testing.T) {
+	srv := ftspanner.NewServer(ftspanner.ServerConfig{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, err := json.Marshal(ftspanner.JobSpec{
+		Generator: &ftspanner.GeneratorSpec{Name: "complete", N: 10},
+		Stretch:   3,
+		Faults:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State  string `json:"state"`
+			Digest string `json:"graph_digest"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			if want := ftspanner.GraphDigest(ftspanner.CompleteGraph(10)); st.Digest != want {
+				t.Errorf("job digest %q, want %q", st.Digest, want)
+			}
+			return
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job ended %s", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
