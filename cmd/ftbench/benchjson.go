@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/ftspanner/ftspanner"
+	"github.com/ftspanner/ftspanner/internal/fault"
+)
+
+// componentBench is one entry of the -benchjson report: a component
+// benchmark's timing/allocation profile plus the oracle instrumentation of a
+// single representative run. The schema is the repository's recorded perf
+// trajectory (BENCH_PR<n>.json at the repo root); CI uploads one per build.
+type componentBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Oracle instrumentation from one representative run (not per-op).
+	Dijkstras     int64 `json:"dijkstras,omitempty"`
+	OracleCalls   int64 `json:"oracle_calls,omitempty"`
+	WitnessHits   int64 `json:"witness_hits,omitempty"`
+	WitnessMisses int64 `json:"witness_misses,omitempty"`
+	KeptEdges     int   `json:"kept_edges,omitempty"`
+}
+
+// benchReport is the top-level -benchjson document.
+type benchReport struct {
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Benchmarks []componentBench `json:"benchmarks"`
+}
+
+// buildCase is one oracle/build workload measured by -benchjson. The cases
+// mirror the component benchmarks in bench_test.go so `go test -bench` and
+// the JSON trajectory describe the same workloads.
+type buildCase struct {
+	name    string
+	mode    ftspanner.Mode
+	n, m    int
+	seed    int64
+	stretch float64
+	faults  int
+}
+
+var buildCases = []buildCase{
+	{name: "BuildVFTf1", mode: ftspanner.VertexFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 1},
+	{name: "BuildVFTf3", mode: ftspanner.VertexFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 3},
+	{name: "BuildEFTf1", mode: ftspanner.EdgeFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 1},
+	{name: "BuildEFTf3", mode: ftspanner.EdgeFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 3},
+}
+
+// runBenchJSON measures the component benchmarks and writes the JSON report
+// to path ("-" for stdout).
+func runBenchJSON(path string, out io.Writer) error {
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: make([]componentBench, 0, len(buildCases)+1),
+	}
+
+	for _, c := range buildCases {
+		g, err := ftspanner.RandomGraph(c.n, c.m, c.seed)
+		if err != nil {
+			return err
+		}
+		opts := ftspanner.Options{Stretch: c.stretch, Faults: c.faults, Mode: c.mode}
+
+		// One instrumented run for the counters the testing harness cannot
+		// see (Dijkstras, witness cache traffic, output size)...
+		res, err := ftspanner.Build(g, opts)
+		if err != nil {
+			return err
+		}
+		// ...then the timed runs.
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ftspanner.Build(g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, componentBench{
+			Name:          c.name,
+			NsPerOp:       float64(br.NsPerOp()),
+			AllocsPerOp:   br.AllocsPerOp(),
+			BytesPerOp:    br.AllocedBytesPerOp(),
+			Dijkstras:     res.Stats.Dijkstras,
+			OracleCalls:   res.Stats.OracleCalls,
+			WitnessHits:   res.Stats.WitnessHits,
+			WitnessMisses: res.Stats.WitnessMisses,
+			KeptEdges:     len(res.Kept),
+		})
+		fmt.Fprintf(out, "%-12s %12.0f ns/op %8d allocs/op %10d B/op  dijkstras=%d\n",
+			c.name, float64(br.NsPerOp()), br.AllocsPerOp(), br.AllocedBytesPerOp(), res.Stats.Dijkstras)
+	}
+
+	if oracleBench, err := oracleQueryBench(out); err != nil {
+		return err
+	} else {
+		report.Benchmarks = append(report.Benchmarks, oracleBench)
+	}
+
+	if path == "-" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// oracleQueryBench measures the oracle query hot path in isolation (the
+// mirror of BenchmarkOracleQuery): repeated FindFaultSet calls against a
+// fixed prebuilt spanner.
+func oracleQueryBench(out io.Writer) (componentBench, error) {
+	g, err := ftspanner.RandomGraph(120, 1200, 2)
+	if err != nil {
+		return componentBench{}, err
+	}
+	res, err := ftspanner.BuildVFT(g, 3, 2)
+	if err != nil {
+		return componentBench{}, err
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		oracle, err := fault.NewOracle(res.Spanner, fault.Vertices, fault.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := g.Edge(i % g.NumEdges())
+			if _, _, err := oracle.FindFaultSet(e.U, e.V, 3*e.Weight, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Fprintf(out, "%-12s %12.0f ns/op %8d allocs/op %10d B/op\n",
+		"OracleQuery", float64(br.NsPerOp()), br.AllocsPerOp(), br.AllocedBytesPerOp())
+	return componentBench{
+		Name:        "OracleQuery",
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}, nil
+}

@@ -8,6 +8,8 @@
 //	ftbench -quick          # reduced grids (seconds, for smoke runs)
 //	ftbench -list           # list experiments and the claims they reproduce
 //	ftbench -csv results/   # also export every table as CSV
+//	ftbench -benchjson f    # component benchmarks as JSON ("-" for stdout):
+//	                        # the repo's recorded perf trajectory (BENCH_PR<n>.json)
 package main
 
 import (
@@ -33,15 +35,20 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
 	var (
-		runIDs   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		quick    = fs.Bool("quick", false, "reduced parameter grids")
-		seed     = fs.Int64("seed", 42, "random seed")
-		list     = fs.Bool("list", false, "list experiments and exit")
-		csvDir   = fs.String("csv", "", "directory to export tables as CSV")
-		parallel = fs.Bool("parallel", false, "run experiments concurrently (reports still print in order)")
+		runIDs    = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick     = fs.Bool("quick", false, "reduced parameter grids")
+		seed      = fs.Int64("seed", 42, "random seed")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		csvDir    = fs.String("csv", "", "directory to export tables as CSV")
+		parallel  = fs.Bool("parallel", false, "run experiments concurrently (reports still print in order)")
+		benchjson = fs.String("benchjson", "", "run the component benchmarks and write a JSON report to this path (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchjson != "" {
+		return runBenchJSON(*benchjson, out)
 	}
 
 	if *list {

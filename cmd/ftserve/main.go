@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	ftserve [-addr :8437] [-workers 4] [-queue 64] [-cache 128] [-max-body 8388608]
+//	ftserve [-addr :8437] [-workers 4] [-queue 64] [-cache 128] [-max-body 8388608] [-pprof addr]
 //
-// See the repository README for the endpoint reference and curl examples.
+// See the repository README for the endpoint reference, curl examples, and
+// the profiling workflow behind the -pprof flag.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,8 +28,9 @@ import (
 
 // options is the parsed command line.
 type options struct {
-	addr string
-	cfg  service.Config
+	addr      string
+	pprofAddr string
+	cfg       service.Config
 }
 
 // parseArgs parses argv (without the program name) into options.
@@ -39,6 +42,7 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&opts.cfg.QueueDepth, "queue", 64, "job queue capacity; submissions beyond it get 503")
 	fs.IntVar(&opts.cfg.CacheEntries, "cache", 128, "result LRU cache entries")
 	fs.Int64Var(&opts.cfg.MaxBodyBytes, "max-body", 8<<20, "request body size limit in bytes")
+	fs.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -49,6 +53,18 @@ func parseArgs(args []string) (options, error) {
 		return options{}, fmt.Errorf("workers, queue, cache, and max-body must all be positive")
 	}
 	return opts, nil
+}
+
+// pprofMux returns a mux serving exactly the net/http/pprof handlers,
+// avoiding the package's DefaultServeMux side-effect registration.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func main() {
@@ -62,6 +78,17 @@ func main() {
 
 	svc := service.New(opts.cfg)
 	httpSrv := &http.Server{Addr: opts.addr, Handler: svc}
+
+	// Profiling is opt-in and served on its own listener so the debug
+	// surface never shares a port with the public job API.
+	if opts.pprofAddr != "" {
+		go func() {
+			log.Printf("ftserve: pprof on http://%s/debug/pprof/", opts.pprofAddr)
+			if err := http.ListenAndServe(opts.pprofAddr, pprofMux()); err != nil {
+				log.Printf("ftserve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

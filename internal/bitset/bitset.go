@@ -156,6 +156,18 @@ func (s *Set) IntersectsWith(other *Set) bool {
 	return false
 }
 
+// Words exposes the set's backing words (64 elements per word, lowest bit
+// first). It exists for hot loops that fuse membership tests directly into
+// their inner iteration — e.g. the Dijkstra relax loop — avoiding a method
+// call per test. The slice is owned by the set: callers may read it but must
+// not modify or retain it across mutations. A nil set yields nil.
+func (s *Set) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
+}
+
 // Elems appends the elements of the set, in increasing order, to dst and
 // returns the extended slice.
 func (s *Set) Elems(dst []int) []int {

@@ -51,8 +51,25 @@ type Stats struct {
 	// Dijkstras is the total number of shortest-path computations inside
 	// the oracle — the honest work unit for runtime experiments (E7).
 	Dijkstras int64
+	// WitnessHits counts oracle queries answered by revalidating a cached
+	// witness fault set instead of running the exponential branching.
+	WitnessHits int64
+	// WitnessMisses counts oracle queries where the witness cache was
+	// consulted but branching still ran. Queries the cache never applies to
+	// (no short detour, zero budget, or refuted by the packing bound) count
+	// neither way, so hits/(hits+misses) is the cache's true success rate.
+	WitnessMisses int64
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
+}
+
+// WitnessHitRate returns WitnessHits/(WitnessHits+WitnessMisses), or 0 when
+// the witness cache was never consulted.
+func (s Stats) WitnessHitRate() float64 {
+	if total := s.WitnessHits + s.WitnessMisses; total > 0 {
+		return float64(s.WitnessHits) / float64(total)
+	}
+	return 0
 }
 
 // Result is the output of a fault-tolerant greedy run.
@@ -142,6 +159,8 @@ func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 
 	res.Stats.OracleCalls = oracle.Calls()
 	res.Stats.Dijkstras = oracle.Dijkstras()
+	res.Stats.WitnessHits = oracle.WitnessHits()
+	res.Stats.WitnessMisses = oracle.WitnessMisses()
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }

@@ -11,17 +11,20 @@
 // exactly the "naive implementation is exponential in f" the paper's open
 // question refers to; experiment E7 measures it.
 //
-// Two optional accelerations preserve exactness:
+// Three optional accelerations preserve exactness:
 //
 //   - pruning: if more than f pairwise internally-disjoint short paths
 //     survive, no budget-f fault set can hit them all, so the branch fails
 //     without recursing (greedy path packing gives the disjoint paths);
-//   - memoization: fault sets are canonicalized so permutations of one set
-//     are explored once.
+//   - memoization: fault sets are hashed order-independently so
+//     permutations of one set are explored once per query;
+//   - witness reuse: the greedy scans edges in weight order, so fault sets
+//     that witnessed recent kept edges often witness the next one too; each
+//     is re-validated with a single bounded Dijkstra before the exponential
+//     branching is attempted.
 package fault
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"github.com/ftspanner/ftspanner/internal/bitset"
@@ -53,17 +56,32 @@ func (m Mode) String() string {
 	}
 }
 
-// Options tunes the oracle. The zero value enables both accelerations.
+// Options tunes the oracle. The zero value enables every acceleration.
 type Options struct {
 	// DisablePruning turns off the disjoint-path packing bound.
 	DisablePruning bool
 	// DisableMemo turns off fault-set memoization.
 	DisableMemo bool
+	// DisableWitnessReuse turns off revalidation of recently found witness
+	// fault sets across queries.
+	DisableWitnessReuse bool
 	// EdgeCapacity sizes the edge fault mask. The searched graph may grow
 	// (the greedy adds edges between queries); set this to the maximum edge
 	// ID it will ever hold. Zero means the graph's current edge count.
 	EdgeCapacity int
 }
+
+// witnessCacheSize bounds the per-oracle LRU of recent witness fault sets.
+// Each failed revalidation costs one bounded Dijkstra, so the cache is kept
+// small; it is consulted only after the packing bound has failed to refute
+// the query, i.e. exactly when the exponential branching is imminent.
+const witnessCacheSize = 4
+
+// memoMaxEntries bounds the generation-stamped memo table. The table is
+// never wiped per query (generation stamps invalidate stale entries for
+// free); this cap only stops a pathological build from accumulating
+// unbounded memory, by re-allocating the map once it grows past the cap.
+const memoMaxEntries = 1 << 20
 
 // Oracle searches for fault sets on a fixed (but growable) graph. It reuses
 // all internal state across queries; it is not safe for concurrent use.
@@ -77,15 +95,30 @@ type Oracle struct {
 	forbiddenE *bitset.Set
 
 	// Scratch for the disjoint-path pruning bound.
-	packV *bitset.Set
-	packE *bitset.Set
+	packV   *bitset.Set
+	packE   *bitset.Set
+	packBuf []int // path scratch for packPaths
 
-	memo    map[string]struct{}
-	memoKey []byte
-	chosen  []int // currently chosen fault elements, for canonical keys
+	// Memoization of explored fault sets: an order-independent 64-bit hash
+	// of the chosen set (XOR of per-element mixes, maintained incrementally
+	// by push/pop) mapped to the generation that last explored it. Queries
+	// bump gen instead of wiping the table, so stale entries cost nothing.
+	memo       map[uint64]uint64
+	memoGen    uint64
+	chosen     []int // currently chosen fault elements
+	chosenHash uint64
 
-	calls     int64
-	dijkstras int64
+	// cand[d] is the branching-candidate scratch buffer for search depth d,
+	// so the recursion allocates nothing after warm-up.
+	cand [][]int
+
+	// witnesses is the reuse LRU, most recently useful first.
+	witnesses [][]int
+
+	calls         int64
+	dijkstras     int64
+	witnessHits   int64
+	witnessMisses int64
 }
 
 // NewOracle returns an oracle over g in the given mode. The graph may gain
@@ -109,7 +142,7 @@ func NewOracle(g *graph.Graph, mode Mode, opts Options) (*Oracle, error) {
 		forbiddenE: bitset.New(edgeCap),
 		packV:      bitset.New(n),
 		packE:      bitset.New(edgeCap),
-		memo:       make(map[string]struct{}),
+		memo:       make(map[uint64]uint64),
 	}, nil
 }
 
@@ -120,12 +153,24 @@ func (o *Oracle) Mode() Mode { return o.mode }
 func (o *Oracle) Calls() int64 { return o.calls }
 
 // Dijkstras returns the number of shortest-path computations performed, the
-// honest cost unit for experiment E7.
+// honest cost unit for experiment E7. Witness revalidation Dijkstras are
+// included.
 func (o *Oracle) Dijkstras() int64 { return o.dijkstras }
+
+// WitnessHits returns the number of queries answered by revalidating a
+// cached witness fault set instead of branching.
+func (o *Oracle) WitnessHits() int64 { return o.witnessHits }
+
+// WitnessMisses returns the number of queries where the witness cache was
+// consulted but branching still had to run. Queries resolved before the
+// cache applies (no short path, zero budget, or refuted by the packing
+// bound) count neither as hits nor as misses.
+func (o *Oracle) WitnessMisses() int64 { return o.witnessMisses }
 
 // FindFaultSet searches for a fault set F with |F| <= budget such that
 // dist_{g\F}(u, v) > bound. It returns the witness (vertex IDs in Vertices
-// mode, edge IDs in Edges mode; possibly empty) and whether one exists.
+// mode, edge IDs in Edges mode; possibly empty) and whether one exists. The
+// returned slice is the caller's to keep or mutate.
 func (o *Oracle) FindFaultSet(u, v int, bound float64, budget int) ([]int, bool, error) {
 	if u < 0 || u >= o.g.NumVertices() || v < 0 || v >= o.g.NumVertices() {
 		return nil, false, fmt.Errorf("fault: query pair (%d,%d) out of range", u, v)
@@ -143,22 +188,26 @@ func (o *Oracle) FindFaultSet(u, v int, bound float64, budget int) ([]int, bool,
 	o.forbiddenV.Clear()
 	o.forbiddenE.Clear()
 	o.chosen = o.chosen[:0]
-	for k := range o.memo {
-		delete(o.memo, k)
+	o.chosenHash = 0
+	o.memoGen++
+	if len(o.memo) > memoMaxEntries {
+		o.memo = make(map[uint64]uint64)
 	}
-	if !o.search(u, v, bound, budget) {
+	if !o.search(u, v, bound, budget, true) {
 		return nil, false, nil
 	}
 	witness := append([]int(nil), o.chosen...)
+	o.remember(witness)
 	return witness, true, nil
 }
 
 // search reports whether the currently chosen faults can be extended by at
 // most budget more elements into a witness. On success the chosen faults
-// (o.chosen and the forbidden sets) hold the witness.
-func (o *Oracle) search(u, v int, bound float64, budget int) bool {
+// (o.chosen and the forbidden sets) hold the witness. top is true for the
+// query-level invocation, where witness reuse applies.
+func (o *Oracle) search(u, v int, bound float64, budget int, top bool) bool {
 	o.dijkstras++
-	err := o.solver.RunTarget(o.g, u, v, sssp.Options{
+	err := o.solver.RunReach(o.g, u, v, sssp.Options{
 		ForbiddenVertices: o.forbiddenV,
 		ForbiddenEdges:    o.forbiddenE,
 		Bound:             bound,
@@ -175,35 +224,59 @@ func (o *Oracle) search(u, v int, bound float64, budget int) bool {
 	}
 
 	// Every witness must hit this short path; branch on its elements. The
-	// path must be extracted before any further solver use (the pruning
-	// bound below reuses the solver).
+	// path must be extracted before any further solver use (pruning and
+	// witness revalidation below reuse the solver). Extraction appends into
+	// a per-depth scratch buffer, so steady-state queries allocate nothing.
+	depth := len(o.chosen)
+	for len(o.cand) <= depth {
+		o.cand = append(o.cand, nil)
+	}
+	buf := o.cand[depth][:0]
 	var candidates []int
 	if o.mode == Vertices {
-		pathVerts := o.solver.PathTo(o.g, v)
-		if len(pathVerts) <= 2 {
+		buf = o.solver.AppendPathTo(o.g, v, buf)
+		o.cand[depth] = buf
+		if len(buf) <= 2 {
 			return false // direct edge: no internal vertex can cut it
 		}
-		candidates = append(candidates, pathVerts[1:len(pathVerts)-1]...)
+		candidates = buf[1 : len(buf)-1]
 	} else {
-		candidates = append(candidates, o.solver.PathEdgesTo(o.g, v)...)
+		buf = o.solver.AppendPathEdgesTo(o.g, v, buf)
+		o.cand[depth] = buf
+		candidates = buf
 	}
 
-	if !o.opts.DisablePruning && o.disjointPathsExceed(u, v, bound, budget) {
+	// The packing bound refutes the branch outright when more than budget
+	// pairwise disjoint short detours survive. The path just extracted is
+	// the packing's first member (the solver is deterministic, so an
+	// unseeded packing would recompute exactly it), saving one Dijkstra.
+	if !o.opts.DisablePruning && o.packPaths(u, v, bound, budget+1, candidates) > budget {
 		return false
+	}
+
+	// Witness reuse: branching is now unavoidable, so one bounded Dijkstra
+	// per plausible cached witness is cheap insurance. A cached set that
+	// misses the current short path cannot be a witness (every witness hits
+	// every short path), which filters most stale entries for free.
+	if top && !o.opts.DisableWitnessReuse {
+		if o.tryCachedWitnesses(u, v, bound, budget, candidates) {
+			o.witnessHits++
+			return true
+		}
+		o.witnessMisses++
 	}
 
 	for _, x := range candidates {
 		o.push(x)
 		skip := false
 		if !o.opts.DisableMemo {
-			key := o.canonicalKey()
-			if _, seen := o.memo[key]; seen {
+			if o.memo[o.chosenHash] == o.memoGen {
 				skip = true
 			} else {
-				o.memo[key] = struct{}{}
+				o.memo[o.chosenHash] = o.memoGen
 			}
 		}
-		if !skip && o.search(u, v, bound, budget-1) {
+		if !skip && o.search(u, v, bound, budget-1, false) {
 			return true
 		}
 		o.pop(x)
@@ -211,12 +284,77 @@ func (o *Oracle) search(u, v int, bound float64, budget int) bool {
 	return false
 }
 
-// disjointPathsExceed greedily packs internally-disjoint (VFT) or
-// edge-disjoint (EFT) u-v paths of weight <= bound avoiding the current
-// faults. If the packing exceeds budget, every witness would need more than
-// budget faults, so the current branch is hopeless.
-func (o *Oracle) disjointPathsExceed(u, v int, bound float64, budget int) bool {
-	return o.packPaths(u, v, bound, budget+1) > budget
+// tryCachedWitnesses revalidates recent witness fault sets against the
+// current query, most recently useful first. On success the winning set is
+// loaded into o.chosen/forbidden state (the same contract as a successful
+// search) and moved to the cache front.
+func (o *Oracle) tryCachedWitnesses(u, v int, bound float64, budget int, pathElems []int) bool {
+	for i, w := range o.witnesses {
+		if len(w) == 0 || len(w) > budget {
+			continue
+		}
+		if o.mode == Vertices && (contains(w, u) || contains(w, v)) {
+			continue
+		}
+		if !intersects(w, pathElems) {
+			continue
+		}
+		for _, x := range w {
+			if o.mode == Vertices {
+				o.forbiddenV.Add(x)
+			} else {
+				o.forbiddenE.Add(x)
+			}
+		}
+		o.dijkstras++
+		err := o.solver.RunReach(o.g, u, v, sssp.Options{
+			ForbiddenVertices: o.forbiddenV,
+			ForbiddenEdges:    o.forbiddenE,
+			Bound:             bound,
+		})
+		if err != nil {
+			panic(err) // unreachable: endpoints validated, never forbidden
+		}
+		if !o.solver.Reached(v) {
+			o.chosen = append(o.chosen[:0], w...)
+			if i != 0 {
+				copy(o.witnesses[1:i+1], o.witnesses[:i])
+				o.witnesses[0] = w
+			}
+			return true
+		}
+		for _, x := range w {
+			if o.mode == Vertices {
+				o.forbiddenV.Remove(x)
+			} else {
+				o.forbiddenE.Remove(x)
+			}
+		}
+	}
+	return false
+}
+
+// remember inserts a found witness at the front of the reuse LRU,
+// deduplicating against existing entries.
+func (o *Oracle) remember(w []int) {
+	if o.opts.DisableWitnessReuse || len(w) == 0 {
+		return
+	}
+	for i, have := range o.witnesses {
+		if equalSets(have, w) {
+			if i != 0 {
+				copy(o.witnesses[1:i+1], o.witnesses[:i])
+				o.witnesses[0] = have
+			}
+			return
+		}
+	}
+	entry := append([]int(nil), w...)
+	if len(o.witnesses) < witnessCacheSize {
+		o.witnesses = append(o.witnesses, nil)
+	}
+	copy(o.witnesses[1:], o.witnesses)
+	o.witnesses[0] = entry
 }
 
 // CountDisjointShortPaths greedily packs pairwise internally-vertex-disjoint
@@ -238,18 +376,31 @@ func (o *Oracle) CountDisjointShortPaths(u, v int, bound float64, limit int) (in
 	}
 	o.forbiddenV.Clear()
 	o.forbiddenE.Clear()
-	return o.packPaths(u, v, bound, limit), nil
+	return o.packPaths(u, v, bound, limit, nil), nil
 }
 
 // packPaths packs disjoint short paths starting from the current forbidden
-// sets, returning the packing size capped at limit.
-func (o *Oracle) packPaths(u, v int, bound float64, limit int) int {
+// sets, returning the packing size capped at limit. A non-nil seed counts as
+// the packing's first path: its elements (internal vertices in Vertices
+// mode, edge IDs in Edges mode) are blocked up front, exactly as if the
+// first Dijkstra had just found that path.
+func (o *Oracle) packPaths(u, v int, bound float64, limit int, seed []int) int {
 	o.packV.CopyFrom(o.forbiddenV)
 	o.packE.CopyFrom(o.forbiddenE)
 	count := 0
+	if seed != nil && limit > 0 {
+		count = 1
+		for _, x := range seed {
+			if o.mode == Vertices {
+				o.packV.Add(x)
+			} else {
+				o.packE.Add(x)
+			}
+		}
+	}
 	for count < limit {
 		o.dijkstras++
-		err := o.solver.RunTarget(o.g, u, v, sssp.Options{
+		err := o.solver.RunReach(o.g, u, v, sssp.Options{
 			ForbiddenVertices: o.packV,
 			ForbiddenEdges:    o.packE,
 			Bound:             bound,
@@ -261,18 +412,20 @@ func (o *Oracle) packPaths(u, v int, bound float64, limit int) int {
 			return count
 		}
 		count++
+		o.packBuf = o.packBuf[:0]
 		if o.mode == Vertices {
-			verts := o.solver.PathTo(o.g, v)
-			if len(verts) <= 2 {
+			o.packBuf = o.solver.AppendPathTo(o.g, v, o.packBuf)
+			if len(o.packBuf) <= 2 {
 				// A direct u-v edge cannot be hit by vertex faults at all:
 				// it alone defeats any budget, so report the cap.
 				return limit
 			}
-			for _, x := range verts[1 : len(verts)-1] {
+			for _, x := range o.packBuf[1 : len(o.packBuf)-1] {
 				o.packV.Add(x)
 			}
 		} else {
-			for _, e := range o.solver.PathEdgesTo(o.g, v) {
+			o.packBuf = o.solver.AppendPathEdgesTo(o.g, v, o.packBuf)
+			for _, e := range o.packBuf {
 				o.packE.Add(e)
 			}
 		}
@@ -287,6 +440,7 @@ func (o *Oracle) push(x int) {
 		o.forbiddenE.Add(x)
 	}
 	o.chosen = append(o.chosen, x)
+	o.chosenHash ^= mix64(uint64(x) + 1)
 }
 
 func (o *Oracle) pop(x int) {
@@ -296,26 +450,51 @@ func (o *Oracle) pop(x int) {
 		o.forbiddenE.Remove(x)
 	}
 	o.chosen = o.chosen[:len(o.chosen)-1]
+	o.chosenHash ^= mix64(uint64(x) + 1)
 }
 
-// canonicalKey encodes the chosen fault set order-independently (sorted,
-// varint-packed) so permutations of one set share a memo entry.
-func (o *Oracle) canonicalKey() string {
-	sorted := append([]int(nil), o.chosen...)
-	insertionSort(sorted)
-	o.memoKey = o.memoKey[:0]
-	var buf [binary.MaxVarintLen64]byte
-	for _, x := range sorted {
-		n := binary.PutUvarint(buf[:], uint64(x))
-		o.memoKey = append(o.memoKey, buf[:n]...)
-	}
-	return string(o.memoKey)
+// mix64 is the splitmix64 finalizer: the per-element hash whose XOR forms
+// the order-independent fault-set key. Chosen sets have distinct elements
+// (a forbidden element never reappears on a surviving path), so XOR of
+// injectively mixed elements collides only with probability ~2^-64 — far
+// below the error rate of the hardware running the search.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-func insertionSort(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
+func contains(a []int, x int) bool {
+	for _, v := range a {
+		if v == x {
+			return true
 		}
 	}
+	return false
+}
+
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// equalSets reports whether two small fault sets hold the same elements
+// (order-insensitive; elements within one set are distinct).
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !contains(b, x) {
+			return false
+		}
+	}
+	return true
 }

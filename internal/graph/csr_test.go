@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCSRIncrementalAppend grows a graph edge by edge — the exact access
+// pattern of the greedy's spanner H — and checks the CSR arena stays
+// consistent with a straightforward adjacency-map model.
+func TestCSRIncrementalAppend(t *testing.T) {
+	const n = 60
+	rng := rand.New(rand.NewSource(7))
+	g := New(n)
+	model := make(map[int]map[int]float64, n)
+	for v := 0; v < n; v++ {
+		model[v] = make(map[int]float64)
+	}
+	for tries := 0; tries < 2000; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		w := 1 + rng.Float64()
+		g.MustAddEdge(u, v, w)
+		model[u][v] = w
+		model[v][u] = w
+	}
+	for v := 0; v < n; v++ {
+		arcs := g.Neighbors(v)
+		if len(arcs) != len(model[v]) {
+			t.Fatalf("vertex %d: %d arcs, want %d", v, len(arcs), len(model[v]))
+		}
+		if g.Degree(v) != len(model[v]) {
+			t.Fatalf("vertex %d: Degree %d, want %d", v, g.Degree(v), len(model[v]))
+		}
+		for _, a := range arcs {
+			if w, ok := model[v][a.To]; !ok || w != a.Weight {
+				t.Fatalf("vertex %d: unexpected arc %+v", v, a)
+			}
+			if e := g.Edge(a.ID); e.Other(v) != a.To || e.Weight != a.Weight {
+				t.Fatalf("vertex %d: arc %+v disagrees with edge %+v", v, a, e)
+			}
+		}
+	}
+}
+
+// TestCSRCompact forces relocation churn (skewed degrees) and verifies
+// explicit compaction removes all dead arena slots without changing the
+// adjacency.
+func TestCSRCompact(t *testing.T) {
+	g := New(101)
+	// A star centered on 0 relocates vertex 0's block log(n) times.
+	for v := 1; v <= 100; v++ {
+		g.MustAddEdge(0, v, float64(v))
+	}
+	before := g.Neighbors(0)
+	want := make([]Arc, len(before))
+	copy(want, before)
+
+	g.Compact()
+	if g.dead != 0 {
+		t.Fatalf("dead = %d after Compact, want 0", g.dead)
+	}
+	after := g.Neighbors(0)
+	if len(after) != len(want) {
+		t.Fatalf("Neighbors(0) length changed: %d != %d", len(after), len(want))
+	}
+	for i := range want {
+		if after[i] != want[i] {
+			t.Fatalf("arc %d changed across Compact: %+v != %+v", i, after[i], want[i])
+		}
+	}
+	// The graph must still accept edges after compaction.
+	id := g.MustAddEdge(1, 2, 3)
+	if e := g.Edge(id); e.U != 1 || e.V != 2 {
+		t.Fatalf("post-compact edge mangled: %+v", e)
+	}
+}
+
+// TestCSRAutoCompactBound checks the automatic compaction keeps relocation
+// waste bounded: after any build, dead slots are at most half the arena
+// (plus the final pre-compaction overshoot of one block).
+func TestCSRAutoCompactBound(t *testing.T) {
+	g := New(400)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		u, v := rng.Intn(400), rng.Intn(400)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, 1)
+	}
+	if limit := len(g.arcs); g.dead > limit {
+		t.Fatalf("dead %d exceeds arena %d", g.dead, limit)
+	}
+	if len(g.arcs) > 8*2*g.NumEdges() {
+		t.Fatalf("arena %d is unreasonably large for %d edges", len(g.arcs), g.NumEdges())
+	}
+}
+
+// TestCloneCompactsArena verifies Clone produces a hole-free arena that is
+// independent of the original.
+func TestCloneCompactsArena(t *testing.T) {
+	g := New(50)
+	for v := 1; v < 50; v++ {
+		g.MustAddEdge(0, v, float64(v))
+	}
+	c := g.Clone()
+	if c.dead != 0 {
+		t.Fatalf("clone has %d dead slots, want 0", c.dead)
+	}
+	if len(c.arcs) != 2*c.NumEdges() {
+		t.Fatalf("clone arena %d, want exactly %d", len(c.arcs), 2*c.NumEdges())
+	}
+	c.MustAddEdge(1, 2, 9)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating clone leaked into original")
+	}
+	for _, a := range g.Neighbors(0) {
+		if e := g.Edge(a.ID); e.Other(0) != a.To {
+			t.Fatalf("original corrupted by clone mutation: %+v", a)
+		}
+	}
+}
+
+// TestAddVertexInterleaved interleaves vertex and edge additions, which
+// exercises fresh zero-capacity segments amid an already-populated arena.
+func TestAddVertexInterleaved(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	for i := 0; i < 20; i++ {
+		v := g.AddVertex()
+		if got := g.Degree(v); got != 0 {
+			t.Fatalf("new vertex %d has degree %d", v, got)
+		}
+		g.MustAddEdge(v, 0, 1)
+		g.MustAddEdge(v, 1, 2)
+		if g.Degree(v) != 2 {
+			t.Fatalf("vertex %d: degree %d after two edges", v, g.Degree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("interleaved graph should be connected")
+	}
+}

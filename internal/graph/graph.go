@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -50,13 +51,29 @@ type Arc struct {
 	Weight float64 // edge weight (duplicated from the edge for cache locality)
 }
 
+// segment locates one vertex's arc block inside the shared CSR arena: the
+// arcs of vertex v live at arcs[off : off+deg], with room to grow in place
+// up to arcs[off+cap].
+type segment struct {
+	off, deg, cap int
+}
+
 // Graph is a weighted undirected simple graph. The zero value is an empty
 // graph with no vertices; most callers use New.
+//
+// Adjacency is stored in compressed-sparse-row form: a single flat arc
+// arena with one contiguous block per vertex. Unlike classic CSR, blocks
+// carry slack capacity and are relocated to the arena's end (with doubling)
+// when they fill, so edge insertion stays amortized O(1) and the growing
+// spanner H built by the greedy remains CSR-backed throughout. Abandoned
+// blocks are reclaimed by compaction once they exceed half the arena.
 //
 // Graph is not safe for concurrent mutation; concurrent reads are fine.
 type Graph struct {
 	edges []Edge
-	adj   [][]Arc
+	arcs  []Arc          // CSR arena: per-vertex contiguous arc blocks
+	seg   []segment      // per-vertex block descriptors; len(seg) == NumVertices()
+	dead  int            // arena slots abandoned by block relocations
 	index map[[2]int]int // normalized endpoint pair -> edge ID
 }
 
@@ -74,29 +91,29 @@ func New(n int) *Graph {
 		n = 0
 	}
 	return &Graph{
-		adj:   make([][]Arc, n),
+		seg:   make([]segment, n),
 		index: make(map[[2]int]int),
 	}
 }
 
 // NumVertices returns the number of vertices.
-func (g *Graph) NumVertices() int { return len(g.adj) }
+func (g *Graph) NumVertices() int { return len(g.seg) }
 
 // NumEdges returns the number of edges.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // AddVertex appends a new isolated vertex and returns its ID.
 func (g *Graph) AddVertex() int {
-	g.adj = append(g.adj, nil)
-	return len(g.adj) - 1
+	g.seg = append(g.seg, segment{})
+	return len(g.seg) - 1
 }
 
 // AddEdge inserts the undirected edge (u, v) with weight w and returns its
 // ID. Self-loops, parallel edges, out-of-range endpoints and non-positive or
 // non-finite weights are rejected.
 func (g *Graph) AddEdge(u, v int, w float64) (int, error) {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
-		return 0, fmt.Errorf("%w: (%d,%d) with %d vertices", ErrVertexRange, u, v, len(g.adj))
+	if u < 0 || u >= len(g.seg) || v < 0 || v >= len(g.seg) {
+		return 0, fmt.Errorf("%w: (%d,%d) with %d vertices", ErrVertexRange, u, v, len(g.seg))
 	}
 	if u == v {
 		return 0, fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
@@ -110,10 +127,55 @@ func (g *Graph) AddEdge(u, v int, w float64) (int, error) {
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, Weight: w})
-	g.adj[u] = append(g.adj[u], Arc{To: v, ID: id, Weight: w})
-	g.adj[v] = append(g.adj[v], Arc{To: u, ID: id, Weight: w})
+	g.addArc(u, Arc{To: v, ID: id, Weight: w})
+	g.addArc(v, Arc{To: u, ID: id, Weight: w})
 	g.index[key] = id
 	return id, nil
+}
+
+// addArc appends one directed arc to v's CSR block, relocating the block to
+// the arena's end with doubled capacity when full, and compacting the arena
+// when relocation waste exceeds half of it.
+func (g *Graph) addArc(v int, a Arc) {
+	s := &g.seg[v]
+	if s.deg == s.cap {
+		newCap := s.cap * 2
+		if newCap == 0 {
+			newCap = 2
+		}
+		off := len(g.arcs)
+		g.arcs = slices.Grow(g.arcs, newCap)[:off+newCap]
+		copy(g.arcs[off:], g.arcs[s.off:s.off+s.deg])
+		g.dead += s.cap
+		s.off, s.cap = off, newCap
+	}
+	g.arcs[s.off+s.deg] = a
+	s.deg++
+	if g.dead > len(g.arcs)/2 && len(g.arcs) > 64 {
+		g.Compact()
+	}
+}
+
+// Compact rewrites the arc arena without the holes left behind by block
+// relocations, preserving each vertex's slack capacity. It runs
+// automatically when holes exceed half the arena; callers that finished
+// building a graph may invoke it explicitly to tighten memory before a
+// read-heavy phase.
+func (g *Graph) Compact() {
+	total := 0
+	for i := range g.seg {
+		total += g.seg[i].cap
+	}
+	out := make([]Arc, 0, total)
+	for i := range g.seg {
+		s := &g.seg[i]
+		off := len(out)
+		out = append(out, g.arcs[s.off:s.off+s.deg]...)
+		out = out[:off+s.cap]
+		s.off = off
+	}
+	g.arcs = out
+	g.dead = 0
 }
 
 // MustAddEdge is AddEdge for construction code where the inputs are known
@@ -150,12 +212,16 @@ func (g *Graph) EdgesByWeight() []Edge {
 	return out
 }
 
-// Neighbors returns the adjacency list of v. The returned slice is owned by
-// the graph and must not be modified; it is valid until the next mutation.
-func (g *Graph) Neighbors(v int) []Arc { return g.adj[v] }
+// Neighbors returns the adjacency list of v: a contiguous view into the CSR
+// arc arena. The returned slice is owned by the graph and must not be
+// modified; it is valid until the next mutation (which may relocate blocks).
+func (g *Graph) Neighbors(v int) []Arc {
+	s := g.seg[v]
+	return g.arcs[s.off : s.off+s.deg : s.off+s.deg]
+}
 
 // Degree returns the number of edges incident to v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return g.seg[v].deg }
 
 // HasEdge reports whether an edge joins u and v.
 func (g *Graph) HasEdge(u, v int) bool {
@@ -165,7 +231,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 
 // EdgeBetween returns the edge joining u and v, if any.
 func (g *Graph) EdgeBetween(u, v int) (Edge, bool) {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) || u == v {
+	if u < 0 || u >= len(g.seg) || v < 0 || v >= len(g.seg) || u == v {
 		return Edge{}, false
 	}
 	id, ok := g.index[normPair(u, v)]
@@ -187,28 +253,29 @@ func (g *Graph) TotalWeight() float64 {
 // MaxDegree returns the largest vertex degree (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
 	d := 0
-	for v := range g.adj {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
+	for v := range g.seg {
+		if g.seg[v].deg > d {
+			d = g.seg[v].deg
 		}
 	}
 	return d
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The copy's arc arena is compacted:
+// relocation holes in the original are not carried over.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		edges: make([]Edge, len(g.edges)),
-		adj:   make([][]Arc, len(g.adj)),
+		arcs:  make([]Arc, 0, 2*len(g.edges)),
+		seg:   make([]segment, len(g.seg)),
 		index: make(map[[2]int]int, len(g.index)),
 	}
 	copy(c.edges, g.edges)
-	for v := range g.adj {
-		if len(g.adj[v]) == 0 {
-			continue
-		}
-		c.adj[v] = make([]Arc, len(g.adj[v]))
-		copy(c.adj[v], g.adj[v])
+	for v := range g.seg {
+		s := g.seg[v]
+		off := len(c.arcs)
+		c.arcs = append(c.arcs, g.arcs[s.off:s.off+s.deg]...)
+		c.seg[v] = segment{off: off, deg: s.deg, cap: s.deg}
 	}
 	for k, v := range g.index {
 		c.index[k] = v

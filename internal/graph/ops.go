@@ -160,7 +160,7 @@ func (g *Graph) ConnectedComponents() (labels []int, count int) {
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, arc := range g.adj[x] {
+			for _, arc := range g.Neighbors(x) {
 				if labels[arc.To] == -1 {
 					labels[arc.To] = count
 					stack = append(stack, arc.To)

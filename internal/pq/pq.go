@@ -1,11 +1,17 @@
-// Package pq implements an indexed binary min-heap keyed by float64
+// Package pq implements an indexed 4-ary min-heap keyed by float64
 // priorities. It supports decrease-key, which container/heap only offers
 // through interface boxing and Fix; the hand-rolled version keeps Dijkstra's
-// inner loop allocation-free.
+// inner loop allocation-free. The 4-way branching trades slightly more
+// comparisons per sift-down level for half the levels and better cache
+// behavior, a consistent win for Dijkstra workloads where PopMin dominates.
 //
 // Items are integers in [0, n). The heap is sized once and reused across
 // runs via Reset, which is O(items touched) rather than O(n).
 package pq
+
+// arity is the heap branching factor. Children of heap position i occupy
+// positions arity*i+1 .. arity*i+arity.
+const arity = 4
 
 // Heap is an indexed min-heap over items 0..n-1.
 type Heap struct {
@@ -25,6 +31,23 @@ func New(n int) *Heap {
 		h.pos[i] = -1
 	}
 	return h
+}
+
+// Grow raises the item universe to n. Existing contents are preserved; a
+// no-op when the heap already covers n items. The heap must be empty or the
+// new slots simply start absent, so Grow is safe at any time.
+func (h *Heap) Grow(n int) {
+	if n <= len(h.pos) {
+		return
+	}
+	keys := make([]float64, n)
+	pos := make([]int, n)
+	copy(keys, h.keys)
+	copy(pos, h.pos)
+	for i := len(h.pos); i < n; i++ {
+		pos[i] = -1
+	}
+	h.keys, h.pos = keys, pos
 }
 
 // Len returns the number of items currently in the heap.
@@ -83,7 +106,7 @@ func (h *Heap) PopMin() (item int, key float64) {
 
 func (h *Heap) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / arity
 		if h.keys[h.heap[parent]] <= h.keys[h.heap[i]] {
 			return
 		}
@@ -95,13 +118,19 @@ func (h *Heap) up(i int) {
 func (h *Heap) down(i int) {
 	n := len(h.heap)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := arity*i + 1
+		if first >= n {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && h.keys[h.heap[right]] < h.keys[h.heap[left]] {
-			smallest = right
+		smallest := first
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.keys[h.heap[c]] < h.keys[h.heap[smallest]] {
+				smallest = c
+			}
 		}
 		if h.keys[h.heap[i]] <= h.keys[h.heap[smallest]] {
 			return

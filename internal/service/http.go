@@ -106,10 +106,12 @@ type statusResponse struct {
 
 // statsBody is core.Stats in JSON form.
 type statsBody struct {
-	EdgesScanned int     `json:"edges_scanned"`
-	OracleCalls  int64   `json:"oracle_calls"`
-	Dijkstras    int64   `json:"dijkstras"`
-	DurationMS   float64 `json:"duration_ms"`
+	EdgesScanned  int     `json:"edges_scanned"`
+	OracleCalls   int64   `json:"oracle_calls"`
+	Dijkstras     int64   `json:"dijkstras"`
+	WitnessHits   int64   `json:"witness_hits"`
+	WitnessMisses int64   `json:"witness_misses"`
+	DurationMS    float64 `json:"duration_ms"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -139,10 +141,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.SpannerEdges = &m
 		st := job.result.stats
 		resp.Stats = &statsBody{
-			EdgesScanned: st.EdgesScanned,
-			OracleCalls:  st.OracleCalls,
-			Dijkstras:    st.Dijkstras,
-			DurationMS:   float64(st.Duration.Microseconds()) / 1000,
+			EdgesScanned:  st.EdgesScanned,
+			OracleCalls:   st.OracleCalls,
+			Dijkstras:     st.Dijkstras,
+			WitnessHits:   st.WitnessHits,
+			WitnessMisses: st.WitnessMisses,
+			DurationMS:    float64(st.Duration.Microseconds()) / 1000,
 		}
 	}
 	job.mu.Unlock()

@@ -14,6 +14,8 @@ type metrics struct {
 	cacheMisses   atomic.Int64 // submissions that had to queue a build
 	dedups        atomic.Int64 // submissions coalesced onto an in-flight job
 	dijkstras     atomic.Int64 // total shortest-path runs across completed builds
+	witnessHits   atomic.Int64 // oracle queries answered by a cached witness (completed builds)
+	witnessMisses atomic.Int64 // oracle queries that consulted the witness cache and branched anyway
 
 	buildsInFlight atomic.Int64 // builds currently occupying a worker slot
 	maxInFlight    atomic.Int64 // high-water mark of buildsInFlight
@@ -47,6 +49,11 @@ type MetricsSnapshot struct {
 	CacheEntries  int           `json:"cache_entries"`
 	Deduplicated  int64         `json:"deduplicated"`
 	Dijkstras     int64         `json:"dijkstras_total"`
+	// WitnessCacheHits/Misses aggregate the build oracle's witness-reuse
+	// counters across completed builds; the ratio is hits/(hits+misses).
+	WitnessCacheHits     int64   `json:"witness_cache_hits"`
+	WitnessCacheMisses   int64   `json:"witness_cache_misses"`
+	WitnessCacheHitRatio float64 `json:"witness_cache_hit_ratio"`
 	// BuildsInFlight and MaxConcurrentBuilds gauge worker-pool usage: how
 	// many builds hold a slot right now and the most that ever did at once.
 	BuildsInFlight      int64 `json:"builds_in_flight"`
@@ -68,11 +75,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Deduplicated:  s.met.dedups.Load(),
 		Dijkstras:     s.met.dijkstras.Load(),
 
+		WitnessCacheHits:   s.met.witnessHits.Load(),
+		WitnessCacheMisses: s.met.witnessMisses.Load(),
+
 		BuildsInFlight:      s.met.buildsInFlight.Load(),
 		MaxConcurrentBuilds: s.met.maxInFlight.Load(),
 	}
 	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
 		snap.CacheHitRatio = float64(snap.CacheHits) / float64(total)
+	}
+	if total := snap.WitnessCacheHits + snap.WitnessCacheMisses; total > 0 {
+		snap.WitnessCacheHitRatio = float64(snap.WitnessCacheHits) / float64(total)
 	}
 	s.mu.Lock()
 	snap.QueueDepth = len(s.pending)

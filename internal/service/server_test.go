@@ -113,12 +113,13 @@ func smallSpec(seed int64) JobSpec {
 }
 
 // slowSpec is a build long enough (hundreds of milliseconds) to observe and
-// cancel mid-run.
+// cancel mid-run. Sized up after the PR-2 oracle overhaul made the previous
+// workload finish in tens of milliseconds.
 func slowSpec(seed int64) JobSpec {
 	return JobSpec{
-		Generator: &GeneratorSpec{Name: "random", N: 200, M: 6000, Seed: seed},
+		Generator: &GeneratorSpec{Name: "random", N: 300, M: 12000, Seed: seed},
 		Stretch:   3,
-		Faults:    2,
+		Faults:    3,
 	}
 }
 
@@ -234,9 +235,9 @@ func TestEightConcurrentBuilds(t *testing.T) {
 	ids := make([]string, n)
 	for i := range ids {
 		sub := submitJob(t, ts, JobSpec{
-			Generator: &GeneratorSpec{Name: "random", N: 200, M: 6000, Seed: int64(100 + i)},
+			Generator: &GeneratorSpec{Name: "random", N: 300, M: 12000, Seed: int64(100 + i)},
 			Stretch:   3,
-			Faults:    2,
+			Faults:    3,
 		})
 		ids[i] = sub.ID
 	}
@@ -524,5 +525,38 @@ func TestVerifyTrialsCapped(t *testing.T) {
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/verify",
 		verifyRequest{JobID: sub.ID, Trials: 10, Workers: 1 << 20}, &vr); code != http.StatusOK || !vr.OK {
 		t.Fatalf("verify with huge worker request: code=%d ok=%v", code, vr.OK)
+	}
+}
+
+// TestWitnessCacheMetricsExposed locks the PR-2 observability criterion:
+// after a greedy build completes, the oracle's witness-cache counters must
+// be visible both in the job's status stats and aggregated in /metrics.
+func TestWitnessCacheMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Dense enough that some kept edges carry non-empty witnesses, which is
+	// what generates witness-cache traffic.
+	sub := submitJob(t, ts, JobSpec{
+		Generator: &GeneratorSpec{Name: "random", N: 60, M: 600, Seed: 77},
+		Stretch:   3,
+		Faults:    1,
+	})
+	st := waitState(t, ts, sub.ID, StateDone)
+	if st.Stats == nil {
+		t.Fatal("done job has no stats")
+	}
+	if st.Stats.WitnessHits+st.Stats.WitnessMisses == 0 {
+		t.Error("job stats report no witness-cache consultations on a branching workload")
+	}
+
+	m := getMetrics(t, ts)
+	if m.WitnessCacheHits != st.Stats.WitnessHits || m.WitnessCacheMisses != st.Stats.WitnessMisses {
+		t.Errorf("/metrics witness counters (%d,%d) disagree with the only job's stats (%d,%d)",
+			m.WitnessCacheHits, m.WitnessCacheMisses, st.Stats.WitnessHits, st.Stats.WitnessMisses)
+	}
+	if total := m.WitnessCacheHits + m.WitnessCacheMisses; total > 0 {
+		want := float64(m.WitnessCacheHits) / float64(total)
+		if m.WitnessCacheHitRatio != want {
+			t.Errorf("witness_cache_hit_ratio = %v, want %v", m.WitnessCacheHitRatio, want)
+		}
 	}
 }

@@ -205,6 +205,8 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 	case err == nil:
 		s.met.jobsDone.Add(1)
 		s.met.dijkstras.Add(res.stats.Dijkstras)
+		s.met.witnessHits.Add(res.stats.WitnessHits)
+		s.met.witnessMisses.Add(res.stats.WitnessMisses)
 		s.cache.Put(job.key, res)
 	case errors.Is(err, context.Canceled):
 		s.met.jobsCancelled.Add(1)

@@ -1,0 +1,140 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// TestRunReachMatchesRunTarget verifies RunReach's contract against the
+// exact search on random instances: identical reachability verdicts, and on
+// success a valid path whose weight respects the bound.
+func TestRunReachMatchesRunTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		var fv *bitset.Set
+		if rng.Intn(2) == 0 {
+			fv = bitset.New(n)
+			for i := 0; i < rng.Intn(n/2+1); i++ {
+				x := rng.Intn(n)
+				if x != u && x != v {
+					fv.Add(x)
+				}
+			}
+		}
+		bound := 1 + 10*rng.Float64()
+		opts := Options{ForbiddenVertices: fv, Bound: bound}
+
+		exact := NewSolver(n)
+		if err := exact.RunTarget(g, u, v, opts); err != nil {
+			t.Fatal(err)
+		}
+		reach := NewSolver(n)
+		if err := reach.RunReach(g, u, v, opts); err != nil {
+			t.Fatal(err)
+		}
+
+		if exact.Reached(v) != reach.Reached(v) {
+			t.Fatalf("trial %d: RunTarget reached=%v, RunReach reached=%v (bound %v)",
+				trial, exact.Reached(v), reach.Reached(v), bound)
+		}
+		if !reach.Reached(v) {
+			continue
+		}
+		// The RunReach path must be consistent and within the bound; it need
+		// not be shortest.
+		path := reach.PathTo(g, v)
+		if len(path) < 2 || path[0] != u || path[len(path)-1] != v {
+			t.Fatalf("trial %d: bad RunReach path %v for (%d,%d)", trial, path, u, v)
+		}
+		var weight float64
+		for i := 1; i < len(path); i++ {
+			e, ok := g.EdgeBetween(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("trial %d: path step (%d,%d) is not an edge", trial, path[i-1], path[i])
+			}
+			if fv.Contains(path[i-1]) || fv.Contains(path[i]) {
+				t.Fatalf("trial %d: path %v crosses forbidden vertex", trial, path)
+			}
+			weight += e.Weight
+		}
+		if weight > bound+1e-9 {
+			t.Fatalf("trial %d: RunReach path weight %v exceeds bound %v", trial, weight, bound)
+		}
+		if d := reach.Dist(v); d < exact.Dist(v)-1e-9 {
+			t.Fatalf("trial %d: RunReach dist %v below true shortest %v", trial, d, exact.Dist(v))
+		}
+	}
+}
+
+// TestAppendPathVariants checks the zero-allocation path extractors agree
+// with their allocating counterparts and honor a non-empty destination.
+func TestAppendPathVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 15, 25)
+	s := NewSolver(15)
+	if err := s.RunTarget(g, 0, 14, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reached(14) {
+		t.Skip("14 unreachable under this seed")
+	}
+	wantV := s.PathTo(g, 14)
+	wantE := s.PathEdgesTo(g, 14)
+
+	prefix := []int{-7, -8}
+	gotV := s.AppendPathTo(g, 14, append([]int(nil), prefix...))
+	if len(gotV) != len(prefix)+len(wantV) {
+		t.Fatalf("AppendPathTo length %d, want %d", len(gotV), len(prefix)+len(wantV))
+	}
+	for i, x := range wantV {
+		if gotV[len(prefix)+i] != x {
+			t.Fatalf("AppendPathTo mismatch at %d: %v vs %v", i, gotV, wantV)
+		}
+	}
+	gotE := s.AppendPathEdgesTo(g, 14, append([]int(nil), prefix...))
+	if len(gotE) != len(prefix)+len(wantE) {
+		t.Fatalf("AppendPathEdgesTo length %d, want %d", len(gotE), len(prefix)+len(wantE))
+	}
+	for i, x := range wantE {
+		if gotE[len(prefix)+i] != x {
+			t.Fatalf("AppendPathEdgesTo mismatch at %d: %v vs %v", i, gotE, wantE)
+		}
+	}
+}
+
+// TestBorrowSolverGrows checks the pool hands back solvers that fit larger
+// graphs after smaller ones (the Ensure path) and that wrapper results stay
+// correct across reuse.
+func TestBorrowSolverGrows(t *testing.T) {
+	small := graph.New(3)
+	small.MustAddEdge(0, 1, 1)
+	small.MustAddEdge(1, 2, 1)
+	big := graph.New(50)
+	for i := 1; i < 50; i++ {
+		big.MustAddEdge(i-1, i, 1)
+	}
+	for round := 0; round < 5; round++ {
+		if d := Dist(small, 0, 2, Options{}); d != 2 {
+			t.Fatalf("round %d: small dist %v, want 2", round, d)
+		}
+		if d := Dist(big, 0, 49, Options{}); d != 49 {
+			t.Fatalf("round %d: big dist %v, want 49", round, d)
+		}
+		all, err := AllDists(big, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all[25] != 25 || all[0] != 0 {
+			t.Fatalf("round %d: AllDists wrong: d[25]=%v d[0]=%v", round, all[25], all[0])
+		}
+	}
+}

@@ -8,6 +8,7 @@ package sssp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/ftspanner/ftspanner/internal/bitset"
 	"github.com/ftspanner/ftspanner/internal/graph"
@@ -58,10 +59,33 @@ func NewSolver(n int) *Solver {
 // Cap returns the maximum vertex count this solver supports.
 func (s *Solver) Cap() int { return len(s.dist) }
 
+// Ensure grows the solver to cover graphs with up to n vertices, preserving
+// nothing from the last run. A no-op when the solver is already big enough.
+func (s *Solver) Ensure(n int) {
+	if n <= len(s.dist) {
+		return
+	}
+	old := len(s.dist)
+	dist := make([]float64, n)
+	parentEdge := make([]int, n)
+	settled := make([]bool, n)
+	for i := old; i < n; i++ {
+		dist[i] = math.Inf(1)
+		parentEdge[i] = -1
+	}
+	// Old slots keep their reset invariants (touched-based reset restored
+	// them after the last run), so a plain copy preserves them.
+	copy(dist, s.dist)
+	copy(parentEdge, s.parentEdge)
+	copy(settled, s.settled)
+	s.dist, s.parentEdge, s.settled = dist, parentEdge, settled
+	s.heap.Grow(n)
+}
+
 // Run computes shortest paths from src to every reachable vertex of g under
-// opts. Results are valid until the next Run/RunTarget.
+// opts. Results are valid until the next Run/RunTarget/RunReach.
 func (s *Solver) Run(g *graph.Graph, src int, opts Options) error {
-	return s.run(g, src, -1, opts)
+	return s.run(g, src, -1, false, opts)
 }
 
 // RunTarget is Run with an early exit: the search stops as soon as target is
@@ -70,10 +94,29 @@ func (s *Solver) RunTarget(g *graph.Graph, src, target int, opts Options) error 
 	if target < 0 || target >= g.NumVertices() {
 		return fmt.Errorf("sssp: target %d out of range [0,%d)", target, g.NumVertices())
 	}
-	return s.run(g, src, target, opts)
+	return s.run(g, src, target, false, opts)
 }
 
-func (s *Solver) run(g *graph.Graph, src, target int, opts Options) error {
+// RunReach answers the bounded reachability question "is there a src-target
+// path of weight <= opts.Bound?" as cheaply as possible: the search stops
+// the moment ANY such path reaches the target, without waiting for the
+// target to be settled at its exact shortest distance. After RunReach,
+// Reached(target) is exact, and PathTo/PathEdgesTo return a valid path of
+// weight <= opts.Bound — but Dist(target) and the path are upper bounds, not
+// necessarily shortest. Every other vertex behaves as after RunTarget.
+//
+// This is the fault oracle's workhorse: its queries only need bounded
+// reachability plus one within-bound path to branch on, and the target
+// typically sits near the search frontier's edge — settling it exactly
+// means exploring nearly the whole bound-radius ball first.
+func (s *Solver) RunReach(g *graph.Graph, src, target int, opts Options) error {
+	if target < 0 || target >= g.NumVertices() {
+		return fmt.Errorf("sssp: target %d out of range [0,%d)", target, g.NumVertices())
+	}
+	return s.run(g, src, target, true, opts)
+}
+
+func (s *Solver) run(g *graph.Graph, src, target int, reach bool, opts Options) error {
 	n := g.NumVertices()
 	if n > len(s.dist) {
 		return fmt.Errorf("sssp: graph has %d vertices, solver capacity is %d", n, len(s.dist))
@@ -86,37 +129,65 @@ func (s *Solver) run(g *graph.Graph, src, target int, opts Options) error {
 	}
 	s.reset()
 
-	bounded := opts.Bound > 0
-	s.dist[src] = 0
+	// The forbidden masks are tested with direct word indexing rather than
+	// bitset.Set.Contains: the relax loop is the hottest code in the
+	// repository (every oracle query is a handful of these searches), and
+	// fusing the word-level test removes a call, a nil check, and a bounds
+	// check per arc.
+	fvw := opts.ForbiddenVertices.Words()
+	few := opts.ForbiddenEdges.Words()
+
+	// An absent bound becomes +Inf so the loop tests plain float compares
+	// instead of a flag plus a compare.
+	bound := opts.Bound
+	if bound <= 0 {
+		bound = math.Inf(1)
+	}
+	dist, settled, parentEdge := s.dist, s.settled, s.parentEdge
+	dist[src] = 0
 	s.touched = append(s.touched, src)
 	s.heap.Push(src, 0)
 
 	for s.heap.Len() > 0 {
 		u, d := s.heap.PopMin()
-		if bounded && d > opts.Bound {
+		if d > bound {
 			break
 		}
-		s.settled[u] = true
+		settled[u] = true
 		if u == target {
 			break
 		}
-		for _, arc := range g.Neighbors(u) {
+		arcs := g.Neighbors(u)
+		for i := range arcs {
+			arc := &arcs[i]
 			v := arc.To
-			if s.settled[v] ||
-				opts.ForbiddenVertices.Contains(v) ||
-				opts.ForbiddenEdges.Contains(arc.ID) {
+			if settled[v] {
+				continue
+			}
+			if fvw != nil && fvw[uint(v)>>6]&(1<<(uint(v)&63)) != 0 {
+				continue
+			}
+			if few != nil && few[uint(arc.ID)>>6]&(1<<(uint(arc.ID)&63)) != 0 {
 				continue
 			}
 			nd := d + arc.Weight
-			if bounded && nd > opts.Bound {
+			if nd > bound {
 				continue
 			}
-			if nd < s.dist[v] {
-				if math.IsInf(s.dist[v], 1) {
+			if nd < dist[v] {
+				if math.IsInf(dist[v], 1) {
 					s.touched = append(s.touched, v)
 				}
-				s.dist[v] = nd
-				s.parentEdge[v] = arc.ID
+				dist[v] = nd
+				parentEdge[v] = arc.ID
+				if reach && v == target {
+					// A within-bound path to the target exists; that is all
+					// a RunReach caller asked. Marking the target settled
+					// makes Reached true and the parent chain (ending at
+					// the settled vertex u) a valid <=bound path.
+					settled[v] = true
+					return nil
+				}
 				s.heap.Push(v, nd)
 			}
 		}
@@ -142,17 +213,30 @@ func (s *Solver) PathTo(g *graph.Graph, v int) []int {
 	if !s.settled[v] {
 		return nil
 	}
-	var rev []int
+	return s.AppendPathTo(g, v, nil)
+}
+
+// AppendPathTo appends the vertices of a shortest path to v (both endpoints
+// inclusive, in path order) to dst and returns the extended slice. When v
+// was not settled, dst is returned unchanged — callers that need to
+// distinguish "unreached" from "source path" check Reached first. This is
+// the zero-allocation variant of PathTo for hot loops that own a reusable
+// buffer.
+func (s *Solver) AppendPathTo(g *graph.Graph, v int, dst []int) []int {
+	if !s.settled[v] {
+		return dst
+	}
+	base := len(dst)
 	for {
-		rev = append(rev, v)
+		dst = append(dst, v)
 		eid := s.parentEdge[v]
 		if eid < 0 {
 			break
 		}
 		v = g.Edge(eid).Other(v)
 	}
-	reverse(rev)
-	return rev
+	reverse(dst[base:])
+	return dst
 }
 
 // PathEdgesTo returns the edge IDs of a shortest path to v in path order, or
@@ -161,17 +245,30 @@ func (s *Solver) PathEdgesTo(g *graph.Graph, v int) []int {
 	if !s.settled[v] {
 		return nil
 	}
-	var rev []int
+	if s.parentEdge[v] < 0 {
+		return nil
+	}
+	return s.AppendPathEdgesTo(g, v, nil)
+}
+
+// AppendPathEdgesTo appends the edge IDs of a shortest path to v (in path
+// order) to dst and returns the extended slice; the zero-allocation variant
+// of PathEdgesTo. When v was not settled, dst is returned unchanged.
+func (s *Solver) AppendPathEdgesTo(g *graph.Graph, v int, dst []int) []int {
+	if !s.settled[v] {
+		return dst
+	}
+	base := len(dst)
 	for {
 		eid := s.parentEdge[v]
 		if eid < 0 {
 			break
 		}
-		rev = append(rev, eid)
+		dst = append(dst, eid)
 		v = g.Edge(eid).Other(v)
 	}
-	reverse(rev)
-	return rev
+	reverse(dst[base:])
+	return dst
 }
 
 func (s *Solver) reset() {
@@ -190,10 +287,32 @@ func reverse(a []int) {
 	}
 }
 
+// solverPool recycles Solvers for the convenience wrappers below. The
+// wrappers used to construct a fresh Solver (four slices and a heap) per
+// call, which made them quadratic-ish in hot loops — e.g. a verifier
+// calling AllDists once per source. Pooled solvers grow monotonically via
+// Ensure, so a pool hit for a smaller graph reuses the bigger allocation.
+var solverPool = sync.Pool{New: func() any { return NewSolver(0) }}
+
+// BorrowSolver returns a pooled Solver sized for at least n vertices.
+// Callers that cannot keep a long-lived Solver of their own (one-shot
+// helpers, per-request handlers) should pair it with ReturnSolver; hot loops
+// are still better served by an explicitly reused Solver.
+func BorrowSolver(n int) *Solver {
+	s := solverPool.Get().(*Solver)
+	s.Ensure(n)
+	return s
+}
+
+// ReturnSolver puts a borrowed Solver back into the pool. The solver's last
+// results become invalid immediately.
+func ReturnSolver(s *Solver) { solverPool.Put(s) }
+
 // Dist is a convenience wrapper returning the shortest-path distance between
 // u and v (with early exit at v), or +Inf if unreachable under opts.
 func Dist(g *graph.Graph, u, v int, opts Options) float64 {
-	s := NewSolver(g.NumVertices())
+	s := BorrowSolver(g.NumVertices())
+	defer ReturnSolver(s)
 	if err := s.RunTarget(g, u, v, opts); err != nil {
 		return math.Inf(1)
 	}
@@ -203,7 +322,8 @@ func Dist(g *graph.Graph, u, v int, opts Options) float64 {
 // Path is a convenience wrapper returning a shortest u-v path as vertex and
 // edge sequences. ok is false if v is unreachable under opts.
 func Path(g *graph.Graph, u, v int, opts Options) (vertices, edges []int, ok bool) {
-	s := NewSolver(g.NumVertices())
+	s := BorrowSolver(g.NumVertices())
+	defer ReturnSolver(s)
 	if err := s.RunTarget(g, u, v, opts); err != nil {
 		return nil, nil, false
 	}
@@ -216,7 +336,8 @@ func Path(g *graph.Graph, u, v int, opts Options) (vertices, edges []int, ok boo
 // AllDists returns the distance from src to every vertex (+Inf where
 // unreachable) under opts.
 func AllDists(g *graph.Graph, src int, opts Options) ([]float64, error) {
-	s := NewSolver(g.NumVertices())
+	s := BorrowSolver(g.NumVertices())
+	defer ReturnSolver(s)
 	if err := s.Run(g, src, opts); err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/sssp"
 )
 
 // ParallelExhaustiveCheck is ExhaustiveCheck spread over a worker pool:
@@ -40,6 +41,9 @@ func (inst *Instance) ParallelExhaustiveCheck(stretch float64, mode fault.Mode, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			solver := sssp.BorrowSolver(inst.G.NumVertices())
+			defer sssp.ReturnSolver(solver)
+			sc := inst.newMaskScratch()
 			for b := range jobs {
 				for i, faults := range b.sets {
 					idx := b.start + i
@@ -51,7 +55,7 @@ func (inst *Instance) ParallelExhaustiveCheck(stretch float64, mode fault.Mode, 
 							continue
 						}
 					}
-					if err := inst.CheckFaultSet(stretch, mode, faults); err != nil {
+					if err := inst.checkFaultSet(solver, sc, stretch, mode, faults); err != nil {
 						violated.Store(true)
 						mu.Lock()
 						if bestIdx < 0 || idx < bestIdx {
@@ -131,6 +135,9 @@ func (inst *Instance) ParallelRandomCheck(stretch float64, mode fault.Mode, f, t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			solver := sssp.BorrowSolver(inst.G.NumVertices())
+			defer sssp.ReturnSolver(solver)
+			sc := inst.newMaskScratch()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= trials {
@@ -145,7 +152,7 @@ func (inst *Instance) ParallelRandomCheck(stretch float64, mode fault.Mode, f, t
 						continue // drain cheaply; later trials can't win
 					}
 				}
-				if err := inst.CheckFaultSet(stretch, mode, jobs[i]); err != nil {
+				if err := inst.checkFaultSet(solver, sc, stretch, mode, jobs[i]); err != nil {
 					violated.Store(true)
 					mu.Lock()
 					if bestIdx < 0 || i < bestIdx {

@@ -72,37 +72,55 @@ func (v *Violation) Error() string {
 		v.F, v.U, v.V, v.Weight, v.Dist, v.Stretch)
 }
 
+// maskScratch holds the reusable fault-mask bitsets behind masks, so
+// enumeration loops (exhaustive, random, adversarial, parallel workers)
+// allocate them once rather than per fault set. Contents are valid until
+// the next masks call on the same scratch.
+type maskScratch struct {
+	fv *bitset.Set // faulted vertices (Vertices mode)
+	fg *bitset.Set // faulted G edges (Edges mode)
+	fh *bitset.Set // same faults as H edge IDs (Edges mode)
+}
+
+func (inst *Instance) newMaskScratch() *maskScratch {
+	return &maskScratch{
+		fv: bitset.New(inst.G.NumVertices()),
+		fg: bitset.New(inst.G.NumEdges()),
+		fh: bitset.New(inst.H.NumEdges()),
+	}
+}
+
 // masks translates a fault set in the given mode into Dijkstra masks for H
-// and a survivor predicate for G edges.
-func (inst *Instance) masks(mode fault.Mode, faults []int) (hOpts sssp.Options, gEdgeSurvives func(graph.Edge) bool, err error) {
+// and a survivor predicate for G edges, loading them into sc.
+func (inst *Instance) masks(sc *maskScratch, mode fault.Mode, faults []int) (hOpts sssp.Options, gEdgeSurvives func(graph.Edge) bool, err error) {
 	switch mode {
 	case fault.Vertices:
-		fv := bitset.New(inst.G.NumVertices())
+		sc.fv.Clear()
 		for _, x := range faults {
 			if x < 0 || x >= inst.G.NumVertices() {
 				return sssp.Options{}, nil, fmt.Errorf("verify: fault vertex %d out of range", x)
 			}
-			fv.Add(x)
+			sc.fv.Add(x)
 		}
-		return sssp.Options{ForbiddenVertices: fv},
-			func(e graph.Edge) bool { return !fv.Contains(e.U) && !fv.Contains(e.V) },
+		return sssp.Options{ForbiddenVertices: sc.fv},
+			func(e graph.Edge) bool { return !sc.fv.Contains(e.U) && !sc.fv.Contains(e.V) },
 			nil
 	case fault.Edges:
-		fg := bitset.New(inst.G.NumEdges())
+		sc.fg.Clear()
+		sc.fh.Clear()
 		for _, x := range faults {
 			if x < 0 || x >= inst.G.NumEdges() {
 				return sssp.Options{}, nil, fmt.Errorf("verify: fault edge %d out of range", x)
 			}
-			fg.Add(x)
+			sc.fg.Add(x)
 		}
-		fh := bitset.New(inst.H.NumEdges())
 		for hid, gid := range inst.HEdgeToG {
-			if fg.Contains(gid) {
-				fh.Add(hid)
+			if sc.fg.Contains(gid) {
+				sc.fh.Add(hid)
 			}
 		}
-		return sssp.Options{ForbiddenEdges: fh},
-			func(e graph.Edge) bool { return !fg.Contains(e.ID) },
+		return sssp.Options{ForbiddenEdges: sc.fh},
+			func(e graph.Edge) bool { return !sc.fg.Contains(e.ID) },
 			nil
 	default:
 		return sssp.Options{}, nil, fmt.Errorf("verify: invalid mode %d", int(mode))
@@ -113,14 +131,23 @@ func (inst *Instance) masks(mode fault.Mode, faults []int) (hOpts sssp.Options, 
 // specific fault set. It returns nil if the property holds, a *Violation if
 // it fails, or another error for invalid input.
 func (inst *Instance) CheckFaultSet(stretch float64, mode fault.Mode, faults []int) error {
+	solver := sssp.BorrowSolver(inst.G.NumVertices())
+	defer sssp.ReturnSolver(solver)
+	return inst.checkFaultSet(solver, inst.newMaskScratch(), stretch, mode, faults)
+}
+
+// checkFaultSet is CheckFaultSet on a caller-owned solver and mask scratch,
+// so enumeration loops (exhaustive, random, adversarial) reuse one set of
+// allocations across thousands of fault sets instead of building a fresh
+// heap and fresh bitsets per set.
+func (inst *Instance) checkFaultSet(solver *sssp.Solver, sc *maskScratch, stretch float64, mode fault.Mode, faults []int) error {
 	if stretch < 1 {
 		return fmt.Errorf("verify: stretch must be >= 1, got %v", stretch)
 	}
-	hOpts, survives, err := inst.masks(mode, faults)
+	hOpts, survives, err := inst.masks(sc, mode, faults)
 	if err != nil {
 		return err
 	}
-	solver := sssp.NewSolver(inst.G.NumVertices())
 	for _, e := range inst.G.Edges() {
 		if !survives(e) {
 			continue
@@ -154,11 +181,12 @@ func (inst *Instance) CheckFaultSet(stretch float64, mode fault.Mode, faults []i
 // H\F), which by the certificate lemma is the exact stretch of H\F for G\F.
 // A graph with no surviving edges has stretch 1 by convention.
 func (inst *Instance) WorstEdgeStretch(mode fault.Mode, faults []int) (float64, error) {
-	hOpts, survives, err := inst.masks(mode, faults)
+	hOpts, survives, err := inst.masks(inst.newMaskScratch(), mode, faults)
 	if err != nil {
 		return 0, err
 	}
-	solver := sssp.NewSolver(inst.G.NumVertices())
+	solver := sssp.BorrowSolver(inst.G.NumVertices())
+	defer sssp.ReturnSolver(solver)
 	worst := 1.0
 	for u := 0; u < inst.G.NumVertices(); u++ {
 		if mode == fault.Vertices && hOpts.ForbiddenVertices.Contains(u) {
@@ -200,10 +228,13 @@ func (inst *Instance) ExhaustiveCheck(stretch float64, mode fault.Mode, f int) e
 	if mode == fault.Edges {
 		universe = inst.G.NumEdges()
 	}
+	solver := sssp.BorrowSolver(inst.G.NumVertices())
+	defer sssp.ReturnSolver(solver)
+	sc := inst.newMaskScratch()
 	var firstErr error
 	for size := 0; size <= f && firstErr == nil; size++ {
 		combinations(universe, size, func(faults []int) bool {
-			if err := inst.CheckFaultSet(stretch, mode, faults); err != nil {
+			if err := inst.checkFaultSet(solver, sc, stretch, mode, faults); err != nil {
 				firstErr = err
 				return false
 			}
@@ -220,13 +251,16 @@ func (inst *Instance) RandomCheck(stretch float64, mode fault.Mode, f, trials in
 	if mode == fault.Edges {
 		universe = inst.G.NumEdges()
 	}
+	solver := sssp.BorrowSolver(inst.G.NumVertices())
+	defer sssp.ReturnSolver(solver)
+	sc := inst.newMaskScratch()
 	for t := 0; t < trials; t++ {
 		size := rng.Intn(f + 1)
 		if size > universe {
 			size = universe
 		}
 		faults := rng.Perm(universe)[:size]
-		if err := inst.CheckFaultSet(stretch, mode, faults); err != nil {
+		if err := inst.checkFaultSet(solver, sc, stretch, mode, faults); err != nil {
 			return err
 		}
 	}
@@ -241,11 +275,13 @@ func (inst *Instance) AdversarialCheck(stretch float64, mode fault.Mode, f, tria
 	if inst.G.NumEdges() == 0 {
 		return nil
 	}
-	solver := sssp.NewSolver(inst.G.NumVertices())
+	solver := sssp.BorrowSolver(inst.G.NumVertices())
+	defer sssp.ReturnSolver(solver)
+	sc := inst.newMaskScratch()
 	for t := 0; t < trials; t++ {
 		target := inst.G.Edge(rng.Intn(inst.G.NumEdges()))
 		faults := inst.greedyAdversary(solver, target, mode, f)
-		if err := inst.CheckFaultSet(stretch, mode, faults); err != nil {
+		if err := inst.checkFaultSet(solver, sc, stretch, mode, faults); err != nil {
 			return err
 		}
 	}
