@@ -72,6 +72,36 @@ func BenchmarkBuildVFTf3(b *testing.B) { benchBuild(b, ftspanner.VertexFaults, 3
 func BenchmarkBuildEFTf1(b *testing.B) { benchBuild(b, ftspanner.EdgeFaults, 1) }
 func BenchmarkBuildEFTf3(b *testing.B) { benchBuild(b, ftspanner.EdgeFaults, 3) }
 
+// Parallel-build benchmarks on the large quantized-weight fixture (the
+// -benchjson Large* cases): same workload at increasing worker counts. The
+// kept-edge set is identical at every setting; wall-clock gains need
+// runnable CPUs.
+
+func benchBuildParallel(b *testing.B, parallelism int) {
+	b.Helper()
+	g, err := ftspanner.RandomGraph(150, 2000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g, err = ftspanner.QuantizeWeights(g, 12, 7); err != nil {
+		b.Fatal(err)
+	}
+	opts := ftspanner.Options{
+		Stretch: 3, Faults: 2, Mode: ftspanner.VertexFaults, Parallelism: parallelism,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ftspanner.Build(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildLargeSeq(b *testing.B) { benchBuildParallel(b, 0) }
+func BenchmarkBuildLargeP2(b *testing.B)  { benchBuildParallel(b, 2) }
+func BenchmarkBuildLargeP4(b *testing.B)  { benchBuildParallel(b, 4) }
+
 // Ablation benchmarks: oracle accelerations on and off (identical outputs,
 // different work — E7 records the full curves).
 

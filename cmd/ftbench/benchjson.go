@@ -27,13 +27,30 @@ type componentBench struct {
 	WitnessHits   int64 `json:"witness_hits,omitempty"`
 	WitnessMisses int64 `json:"witness_misses,omitempty"`
 	KeptEdges     int   `json:"kept_edges,omitempty"`
+	// Speculation instrumentation (Parallelism > 1 cases).
+	SpecBatches int64 `json:"spec_batches,omitempty"`
+	SpecHits    int64 `json:"spec_hits,omitempty"`
+	SpecWaste   int64 `json:"spec_waste,omitempty"`
+	// SpannerDigest is the built spanner's content hash: parallel and
+	// sequential runs of the same workload must record the same digest (the
+	// determinism guarantee, checked at generation time).
+	SpannerDigest string `json:"spanner_digest,omitempty"`
+	// SpeedupVsBaseline is NsPerOp(baseline case)/NsPerOp(this case) for
+	// cases declaring a baseline — the recorded parallel-vs-sequential win.
+	// Wall-clock speedup requires runnable CPUs; see the report's cpus field.
+	Baseline          string  `json:"baseline,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
-// benchReport is the top-level -benchjson document.
+// benchReport is the top-level -benchjson document. CPUs records the
+// runnable processors the run had (runtime.GOMAXPROCS): parallel-build
+// speedups are only meaningful relative to it — on a single-CPU host the
+// speculative builder can at best tie the sequential one.
 type benchReport struct {
 	GoVersion  string           `json:"go_version"`
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
 	Benchmarks []componentBench `json:"benchmarks"`
 }
 
@@ -47,6 +64,13 @@ type buildCase struct {
 	seed    int64
 	stretch float64
 	faults  int
+	// levels > 0 quantizes weights to {1..levels} (same-weight batches for
+	// the speculative builder); 0 keeps the generator's unit weights.
+	levels int
+	// parallelism is core.Options.Parallelism for this case.
+	parallelism int
+	// baseline names an earlier case to compute a speedup against.
+	baseline string
 }
 
 var buildCases = []buildCase{
@@ -54,6 +78,23 @@ var buildCases = []buildCase{
 	{name: "BuildVFTf3", mode: ftspanner.VertexFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 3},
 	{name: "BuildEFTf1", mode: ftspanner.EdgeFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 1},
 	{name: "BuildEFTf3", mode: ftspanner.EdgeFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 3},
+	// The parallel-build large fixture: quantized weights give ~170-edge
+	// same-weight batches, the regime the speculative scan was built for.
+	{name: "LargeVFTf2Seq", mode: ftspanner.VertexFaults, n: 150, m: 2000, seed: 7, stretch: 3, faults: 2, levels: 12},
+	{name: "LargeVFTf2Par4", mode: ftspanner.VertexFaults, n: 150, m: 2000, seed: 7, stretch: 3, faults: 2, levels: 12,
+		parallelism: 4, baseline: "LargeVFTf2Seq"},
+}
+
+// caseGraph materializes a case's input graph.
+func caseGraph(c buildCase) (*ftspanner.Graph, error) {
+	g, err := ftspanner.RandomGraph(c.n, c.m, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	if c.levels > 0 {
+		return ftspanner.QuantizeWeights(g, c.levels, c.seed)
+	}
+	return g, nil
 }
 
 // runBenchJSON measures the component benchmarks and writes the JSON report
@@ -63,15 +104,17 @@ func runBenchJSON(path string, out io.Writer) error {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.GOMAXPROCS(0),
 		Benchmarks: make([]componentBench, 0, len(buildCases)+1),
 	}
 
+	digests := make(map[string]string) // case name -> spanner digest
 	for _, c := range buildCases {
-		g, err := ftspanner.RandomGraph(c.n, c.m, c.seed)
+		g, err := caseGraph(c)
 		if err != nil {
 			return err
 		}
-		opts := ftspanner.Options{Stretch: c.stretch, Faults: c.faults, Mode: c.mode}
+		opts := ftspanner.Options{Stretch: c.stretch, Faults: c.faults, Mode: c.mode, Parallelism: c.parallelism}
 
 		// One instrumented run for the counters the testing harness cannot
 		// see (Dijkstras, witness cache traffic, output size)...
@@ -88,7 +131,7 @@ func runBenchJSON(path string, out io.Writer) error {
 				}
 			}
 		})
-		report.Benchmarks = append(report.Benchmarks, componentBench{
+		entry := componentBench{
 			Name:          c.name,
 			NsPerOp:       float64(br.NsPerOp()),
 			AllocsPerOp:   br.AllocsPerOp(),
@@ -98,9 +141,31 @@ func runBenchJSON(path string, out io.Writer) error {
 			WitnessHits:   res.Stats.WitnessHits,
 			WitnessMisses: res.Stats.WitnessMisses,
 			KeptEdges:     len(res.Kept),
-		})
-		fmt.Fprintf(out, "%-12s %12.0f ns/op %8d allocs/op %10d B/op  dijkstras=%d\n",
+			SpecBatches:   res.Stats.SpecBatches,
+			SpecHits:      res.Stats.SpecHits,
+			SpecWaste:     res.Stats.SpecWaste,
+			SpannerDigest: res.Spanner.Digest(),
+		}
+		digests[c.name] = entry.SpannerDigest
+		if c.baseline != "" {
+			entry.Baseline = c.baseline
+			for _, prev := range report.Benchmarks {
+				if prev.Name == c.baseline && entry.NsPerOp > 0 {
+					entry.SpeedupVsBaseline = prev.NsPerOp / entry.NsPerOp
+				}
+			}
+			if want, ok := digests[c.baseline]; ok && want != entry.SpannerDigest {
+				return fmt.Errorf("benchjson: %s spanner digest %s differs from baseline %s's %s — determinism violated",
+					c.name, entry.SpannerDigest, c.baseline, want)
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, entry)
+		fmt.Fprintf(out, "%-14s %12.0f ns/op %8d allocs/op %10d B/op  dijkstras=%d",
 			c.name, float64(br.NsPerOp()), br.AllocsPerOp(), br.AllocedBytesPerOp(), res.Stats.Dijkstras)
+		if c.baseline != "" {
+			fmt.Fprintf(out, "  speedup=%.2fx vs %s (cpus=%d)", entry.SpeedupVsBaseline, c.baseline, report.CPUs)
+		}
+		fmt.Fprintln(out)
 	}
 
 	if oracleBench, err := oracleQueryBench(out); err != nil {

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	ftserve [-addr :8437] [-workers 4] [-queue 64] [-cache 128] [-max-body 8388608] [-pprof addr]
+//	ftserve [-addr :8437] [-workers 4] [-queue 64] [-cache 128] [-max-body 8388608]
+//	        [-retention 15m] [-pprof addr]
 //
 // See the repository README for the endpoint reference, curl examples, and
 // the profiling workflow behind the -pprof flag.
@@ -42,6 +43,8 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&opts.cfg.QueueDepth, "queue", 64, "job queue capacity; submissions beyond it get 503")
 	fs.IntVar(&opts.cfg.CacheEntries, "cache", 128, "result LRU cache entries")
 	fs.Int64Var(&opts.cfg.MaxBodyBytes, "max-body", 8<<20, "request body size limit in bytes")
+	fs.DurationVar(&opts.cfg.JobRetention, "retention", 15*time.Minute,
+		"how long finished jobs stay addressable before eviction (0 for the default, negative to keep forever)")
 	fs.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err

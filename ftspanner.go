@@ -130,9 +130,11 @@ func BuildEFT(g *Graph, stretch float64, f int) (*Result, error) {
 // BuildConservative runs the polynomial-time conservative greedy: an edge
 // is dropped only when f+1 pairwise disjoint within-stretch detours certify
 // that no fault set can isolate it. The output is always a valid
-// fault-tolerant spanner, never sparser than the exact greedy's, and each
-// edge costs O(f) shortest-path runs instead of exponential-in-f search —
-// the trade-off of the paper's closing open question (experiment E11).
+// fault-tolerant spanner, typically (though not provably — the two scans
+// evolve different intermediate spanners) no sparser than the exact
+// greedy's, and each edge costs O(f) shortest-path runs instead of
+// exponential-in-f search — the trade-off of the paper's closing open
+// question (experiment E11).
 func BuildConservative(g *Graph, opts Options) (*Result, error) {
 	return core.GreedyConservative(g, opts)
 }
@@ -276,6 +278,14 @@ func RandomGeometricGraph(n int, radius float64, seed int64) (*Graph, []Point) {
 // [lo, hi), preserving topology and edge IDs.
 func RandomizeWeights(g *Graph, lo, hi float64, seed int64) (*Graph, error) {
 	return gen.RandomizeWeights(g, lo, hi, rand.New(rand.NewSource(seed)))
+}
+
+// QuantizeWeights returns a copy of g with weights drawn uniformly from the
+// integer levels {1, ..., levels}, preserving topology and edge IDs. Tied
+// weights form the same-weight batches that Options.Parallelism speculates
+// over.
+func QuantizeWeights(g *Graph, levels int, seed int64) (*Graph, error) {
+	return gen.QuantizeWeights(g, levels, rand.New(rand.NewSource(seed)))
 }
 
 // LowerBoundGraph returns the BDPW blow-up on which every edge is forced

@@ -23,10 +23,13 @@ import (
 // bound the exact oracle uses for pruning). When fewer disjoint detours
 // exist the edge is kept, possibly unnecessarily.
 //
-// Consequently the output is ALWAYS a valid f-fault-tolerant k-spanner, at
-// most as sparse as the exact greedy's, and each edge costs at most f+2
-// bounded Dijkstra runs — polynomial in f. Experiment E11 measures the
-// size/time trade-off against the exact algorithm.
+// Consequently the output is ALWAYS a valid f-fault-tolerant k-spanner,
+// typically (not provably — the two scans evolve different intermediate
+// spanners, and a denser conservative prefix can pack detours the exact
+// greedy's sparser prefix lacks) no sparser than the exact greedy's, and
+// each edge costs at most f+2 bounded Dijkstra runs — polynomial in f.
+// Experiment E11 measures the size/time trade-off against the exact
+// algorithm.
 //
 // The result's Witness map is nil: conservative keeps carry no fault-set
 // witnesses, so Lemma 3 blocking-set extraction does not apply.

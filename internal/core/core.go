@@ -38,15 +38,29 @@ type Options struct {
 	// number of edges scanned and kept so far. Returning a non-nil error
 	// aborts the build and the greedy returns that error unchanged — the
 	// hook is how long-running builds report progress and honor context
-	// cancellation without the core depending on context directly.
+	// cancellation without the core depending on context directly. Under
+	// Parallelism the hook still fires once per edge, in scan order, from
+	// the commit goroutine; a batch's speculative oracle queries may run
+	// before its edges' hooks, so cancellation latency is one batch.
 	Progress func(scanned, kept int) error
+	// Parallelism enables speculative edge-batch parallelism: consecutive
+	// same-weight edges are oracle-queried concurrently by this many workers
+	// against an immutable snapshot of the spanner so far, then validated
+	// and committed sequentially (see parallel.go). 0 and 1 mean the plain
+	// sequential scan. The kept-edge set is identical at every setting; only
+	// Stats (work counters, witnesses found) may differ. GreedyConservative
+	// ignores this field.
+	Parallelism int
 }
 
 // Stats captures instrumentation of a run.
 type Stats struct {
 	// EdgesScanned is the number of input edges processed (all of them).
 	EdgesScanned int
-	// OracleCalls is the number of fault-set searches (one per edge).
+	// OracleCalls is the number of fault-set searches: one per edge for a
+	// sequential build; under Parallelism > 1 it also counts speculative
+	// batch queries and re-queries of invalidated speculation, so it exceeds
+	// EdgesScanned by roughly SpecWaste.
 	OracleCalls int64
 	// Dijkstras is the total number of shortest-path computations inside
 	// the oracle — the honest work unit for runtime experiments (E7).
@@ -59,8 +73,32 @@ type Stats struct {
 	// (no short detour, zero budget, or refuted by the packing bound) count
 	// neither way, so hits/(hits+misses) is the cache's true success rate.
 	WitnessMisses int64
+	// SpecBatches counts same-weight edge batches that were speculated on
+	// concurrently (Parallelism > 1 only).
+	SpecBatches int64
+	// SpecQueries counts speculative oracle queries issued against spanner
+	// snapshots by the batch workers.
+	SpecQueries int64
+	// SpecHits counts batch edges whose speculative answer was committed
+	// without re-running the full oracle query: exact drops, commits against
+	// an unchanged snapshot, and witnesses salvaged by one-Dijkstra
+	// revalidation.
+	SpecHits int64
+	// SpecWaste counts batch edges whose speculative answer was invalidated
+	// by an earlier commit in the same batch and had to be re-queried
+	// sequentially — the price of speculation.
+	SpecWaste int64
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
+}
+
+// SpecHitRate returns SpecHits/(SpecHits+SpecWaste), or 0 when no edges
+// went through the speculative path.
+func (s Stats) SpecHitRate() float64 {
+	if total := s.SpecHits + s.SpecWaste; total > 0 {
+		return float64(s.SpecHits) / float64(total)
+	}
+	return 0
 }
 
 // WitnessHitRate returns WitnessHits/(WitnessHits+WitnessMisses), or 0 when
@@ -95,7 +133,10 @@ type Result struct {
 	Stats Stats
 }
 
-// Greedy runs the fault-tolerant greedy algorithm on g.
+// Greedy runs the fault-tolerant greedy algorithm on g. With
+// Options.Parallelism > 1 the edge scan speculates over same-weight batches
+// on a worker pool; the kept-edge set is guaranteed identical to the
+// sequential scan's (see parallel.go for the argument).
 func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
@@ -109,6 +150,9 @@ func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Mode != fault.Vertices && opts.Mode != fault.Edges {
 		return nil, fmt.Errorf("core: invalid fault mode %d", int(opts.Mode))
 	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("core: parallelism must be >= 0, got %d", opts.Parallelism)
+	}
 
 	start := time.Now()
 	h := graph.New(g.NumVertices())
@@ -119,50 +163,120 @@ func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{
-		Input:   g,
-		Spanner: h,
-		KeptSet: bitset.New(g.NumEdges()),
-		Witness: make(map[int][]int),
-		Mode:    opts.Mode,
-		Stretch: opts.Stretch,
-		Faults:  opts.Faults,
-	}
-	hToInput := make([]int, 0, g.NumEdges()) // spanner edge ID -> input edge ID
-
-	for _, e := range g.EdgesByWeight() {
-		if opts.Progress != nil {
-			if err := opts.Progress(res.Stats.EdgesScanned, len(res.Kept)); err != nil {
-				return nil, err
-			}
-		}
-		res.Stats.EdgesScanned++
-		witness, found, err := oracle.FindFaultSet(e.U, e.V, opts.Stretch*e.Weight, opts.Faults)
-		if err != nil {
-			return nil, fmt.Errorf("core: edge %d: %w", e.ID, err)
-		}
-		if !found {
-			continue
-		}
-		h.MustAddEdge(e.U, e.V, e.Weight)
-		hToInput = append(hToInput, e.ID)
-		res.Kept = append(res.Kept, e.ID)
-		res.KeptSet.Add(e.ID)
-		if opts.Mode == fault.Edges {
-			// The oracle speaks spanner edge IDs; translate to input IDs.
-			for i, hid := range witness {
-				witness[i] = hToInput[hid]
-			}
-		}
-		res.Witness[e.ID] = witness
+	b := &builder{
+		g:          g,
+		h:          h,
+		opts:       opts,
+		oracleOpts: oracleOpts,
+		live:       oracle,
+		res: &Result{
+			Input:   g,
+			Spanner: h,
+			KeptSet: bitset.New(g.NumEdges()),
+			Witness: make(map[int][]int),
+			Mode:    opts.Mode,
+			Stretch: opts.Stretch,
+			Faults:  opts.Faults,
+		},
+		hToInput: make([]int, 0, g.NumEdges()),
 	}
 
+	edges := g.EdgesByWeight()
+	if opts.Parallelism > 1 {
+		err = b.scanParallel(edges)
+	} else {
+		err = b.scanSequential(edges)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := b.res
 	res.Stats.OracleCalls = oracle.Calls()
 	res.Stats.Dijkstras = oracle.Dijkstras()
 	res.Stats.WitnessHits = oracle.WitnessHits()
 	res.Stats.WitnessMisses = oracle.WitnessMisses()
+	for _, w := range b.workers {
+		res.Stats.OracleCalls += w.Calls()
+		res.Stats.Dijkstras += w.Dijkstras()
+		res.Stats.WitnessHits += w.WitnessHits()
+		res.Stats.WitnessMisses += w.WitnessMisses()
+	}
 	res.Stats.Duration = time.Since(start)
 	return res, nil
+}
+
+// builder carries one greedy run's mutable state: the growing spanner, the
+// live oracle bound to it, and the result being assembled. The sequential
+// and parallel scans share its bookkeeping so they cannot diverge on
+// anything but scheduling.
+type builder struct {
+	g          *graph.Graph
+	h          *graph.Graph
+	opts       Options
+	oracleOpts fault.Options
+	live       *fault.Oracle
+	res        *Result
+	hToInput   []int // spanner edge ID -> input edge ID
+
+	// workers are the per-goroutine speculation oracles (Parallelism > 1),
+	// kept across batches and re-aimed at each batch's snapshot; their
+	// counters fold into Stats at the end of the run.
+	workers []*fault.Oracle
+}
+
+func (b *builder) scanSequential(edges []graph.Edge) error {
+	for _, e := range edges {
+		if err := b.step(); err != nil {
+			return err
+		}
+		if err := b.scanOne(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step fires the Progress hook and counts the edge about to be decided.
+func (b *builder) step() error {
+	if b.opts.Progress != nil {
+		if err := b.opts.Progress(b.res.Stats.EdgesScanned, len(b.res.Kept)); err != nil {
+			return err
+		}
+	}
+	b.res.Stats.EdgesScanned++
+	return nil
+}
+
+// scanOne decides one edge exactly with the live oracle against the current
+// spanner — the sequential hot path, and the parallel path's fallback for
+// invalidated speculation.
+func (b *builder) scanOne(e graph.Edge) error {
+	witness, found, err := b.live.FindFaultSet(e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults)
+	if err != nil {
+		return fmt.Errorf("core: edge %d: %w", e.ID, err)
+	}
+	if found {
+		b.commit(e, witness)
+	}
+	return nil
+}
+
+// commit keeps edge e with the given witness fault set (spanner IDs in edge
+// mode; translated to input IDs here). The witness slice is owned by the
+// builder after this call.
+func (b *builder) commit(e graph.Edge, witness []int) {
+	b.h.MustAddEdge(e.U, e.V, e.Weight)
+	b.hToInput = append(b.hToInput, e.ID)
+	b.res.Kept = append(b.res.Kept, e.ID)
+	b.res.KeptSet.Add(e.ID)
+	if b.opts.Mode == fault.Edges {
+		// The oracle speaks spanner edge IDs; translate to input IDs.
+		for i, hid := range witness {
+			witness[i] = b.hToInput[hid]
+		}
+	}
+	b.res.Witness[e.ID] = witness
 }
 
 // GreedyVFT is Greedy with vertex faults (the paper's headline setting).

@@ -1,0 +1,195 @@
+// Speculative edge-batch parallelism for the fault-tolerant greedy.
+//
+// The greedy scans edges by increasing weight and asks the fault oracle one
+// exact question per edge against the spanner H built so far. The scan looks
+// inherently sequential — each answer may change H for the next question —
+// but batches of EQUAL-weight edges leave room to speculate: while deciding
+// a batch, H can only gain edges of that same weight, so most answers
+// computed against a frozen snapshot of H remain exact, and the rest are
+// cheap to repair. Concretely, for each maximal run of same-weight edges:
+//
+//  1. snapshot H (graph.Snapshot: O(n), immutable, safe for concurrent
+//     reads while the scan goroutine later mutates H);
+//  2. fan the batch out over Parallelism workers, each owning a private
+//     oracle (solver, memo, witness cache) re-aimed at the snapshot via
+//     Rebind; every edge gets a full speculative oracle query;
+//  3. validate and commit sequentially, in the exact scan order:
+//     - "no fault set" answers are committed as drops even after earlier
+//     commits in the batch: H only gained edges since the snapshot, and
+//     adding edges only shrinks the set of valid fault sets (any F that
+//     stretches (u,v) in H' ⊇ H does so in H — forbid F∩H and the
+//     H-distance can only be larger), so "none against the snapshot"
+//     implies "none now" — the monotone lift;
+//     - the first "found witness" before any commit is exact as-is: H
+//     still equals the snapshot;
+//     - later "found witness" answers are suspect: the witness F was valid
+//     for the snapshot but an earlier commit may have opened a fresh
+//     detour. One bounded Dijkstra (Oracle.ValidateWitness) re-checks F
+//     against the live H; if F still works the edge is kept — the
+//     existence question is answered by exhibiting F, no search needed;
+//     - only when revalidation fails does the edge fall back to a full
+//     sequential re-query against the live H (counted as SpecWaste).
+//
+// Every commit decision is therefore made, in scan order, with an answer
+// that is exact for the live spanner at that moment — which is precisely
+// the sequential algorithm's invariant. The kept-edge set is consequently
+// IDENTICAL to the sequential scan's at any Parallelism (the differential
+// suite in parallel_test.go pins this across both fault modes); witnesses
+// and work counters may differ, since several valid witnesses can exist.
+//
+// Speculation wastes work when commits are frequent within a batch — the
+// worst case is a large all-equal-weight batch over a young, sparse H,
+// where almost every edge is kept and each commit invalidates its
+// successors. Stats.SpecHits/SpecWaste expose the balance; waste degrades
+// toward the sequential cost plus the (cheap, early-exiting) speculative
+// queries, it never changes the output.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// minSpeculativeBatch is the smallest same-weight run worth a snapshot and
+// worker dispatch; shorter runs (in particular all singletons, the
+// distinct-weight regime) take the sequential path with zero overhead.
+const minSpeculativeBatch = 2
+
+// specResult is one worker's speculative answer for one batch edge.
+type specResult struct {
+	witness []int
+	found   bool
+	err     error
+}
+
+// scanParallel is the Parallelism > 1 edge scan: sequential decisions over
+// speculative batch answers.
+func (b *builder) scanParallel(edges []graph.Edge) error {
+	var results []specResult
+	for start := 0; start < len(edges); {
+		end := start + 1
+		for end < len(edges) && edges[end].Weight == edges[start].Weight {
+			end++
+		}
+		batch := edges[start:end]
+		start = end
+		if len(batch) < minSpeculativeBatch {
+			for _, e := range batch {
+				if err := b.step(); err != nil {
+					return err
+				}
+				if err := b.scanOne(e); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		var err error
+		if results, err = b.speculate(batch, results); err != nil {
+			return err
+		}
+		if err := b.commitBatch(batch, results); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// speculate answers every batch edge concurrently against a fresh snapshot
+// of the spanner, reusing the results buffer across batches.
+func (b *builder) speculate(batch []graph.Edge, results []specResult) ([]specResult, error) {
+	snap := b.h.Snapshot()
+	workers := b.opts.Parallelism
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	for len(b.workers) < workers {
+		o, err := fault.NewOracle(snap, b.opts.Mode, b.oracleOpts)
+		if err != nil {
+			return nil, err
+		}
+		b.workers = append(b.workers, o)
+	}
+	for _, o := range b.workers[:workers] {
+		if err := o.Rebind(snap); err != nil {
+			return nil, err
+		}
+	}
+	if cap(results) < len(batch) {
+		results = make([]specResult, len(batch))
+	} else {
+		results = results[:len(batch)]
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(o *fault.Oracle) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				e := batch[i]
+				wit, found, err := o.FindFaultSet(e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults)
+				results[i] = specResult{witness: wit, found: found, err: err}
+			}
+		}(b.workers[w])
+	}
+	wg.Wait()
+	b.res.Stats.SpecBatches++
+	b.res.Stats.SpecQueries += int64(len(batch))
+	return results, nil
+}
+
+// commitBatch walks one batch in scan order, turning speculative answers
+// into exact commit decisions as described in the package comment.
+func (b *builder) commitBatch(batch []graph.Edge, results []specResult) error {
+	committed := false
+	for i, e := range batch {
+		if err := b.step(); err != nil {
+			return err
+		}
+		r := results[i]
+		if r.err != nil {
+			return fmt.Errorf("core: edge %d: %w", e.ID, r.err)
+		}
+		if !r.found {
+			// Monotone lift: exact even after earlier commits in the batch.
+			b.res.Stats.SpecHits++
+			continue
+		}
+		if !committed {
+			// H still equals the snapshot; the speculative witness is exact.
+			b.res.Stats.SpecHits++
+			b.live.NoteWitness(r.witness)
+			b.commit(e, r.witness)
+			committed = true
+			continue
+		}
+		ok, err := b.live.ValidateWitness(e.U, e.V, b.opts.Stretch*e.Weight, r.witness)
+		if err != nil {
+			return fmt.Errorf("core: edge %d: %w", e.ID, err)
+		}
+		if ok {
+			// The stale witness survived revalidation against the live
+			// spanner: the edge must be kept, one Dijkstra total.
+			b.res.Stats.SpecHits++
+			b.live.NoteWitness(r.witness)
+			b.commit(e, r.witness)
+			continue
+		}
+		// Invalidated by an earlier commit: decide exactly against live H.
+		b.res.Stats.SpecWaste++
+		if err := b.scanOne(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -65,6 +65,12 @@ type Options struct {
 	// DisableWitnessReuse turns off revalidation of recently found witness
 	// fault sets across queries.
 	DisableWitnessReuse bool
+	// DisableBidi makes the refuting reachability tests use the
+	// unidirectional bounded Dijkstra instead of the meet-in-the-middle
+	// search (sssp.RunReachBidi). Path packing always stays unidirectional:
+	// its counts feed the conservative greedy's decisions, which must not
+	// depend on which within-bound paths the engine happens to return.
+	DisableBidi bool
 	// EdgeCapacity sizes the edge fault mask. The searched graph may grow
 	// (the greedy adds edges between queries); set this to the maximum edge
 	// ID it will ever hold. Zero means the graph's current edge count.
@@ -149,6 +155,26 @@ func NewOracle(g *graph.Graph, mode Mode, opts Options) (*Oracle, error) {
 // Mode returns the oracle's fault mode.
 func (o *Oracle) Mode() Mode { return o.mode }
 
+// Rebind points the oracle at a different graph on the same vertex set,
+// keeping all accumulated state (memo table, witness cache, counters). The
+// parallel greedy uses it to re-aim per-worker oracles at each batch's fresh
+// spanner snapshot instead of rebuilding them: the generation-stamped memo
+// never serves stale entries across queries, and cached witnesses are only
+// ever used after revalidation against the current graph, so both carry
+// over safely.
+func (o *Oracle) Rebind(g *graph.Graph) error {
+	if g.NumVertices() != o.forbiddenV.Cap() {
+		return fmt.Errorf("fault: rebind graph has %d vertices, oracle built for %d",
+			g.NumVertices(), o.forbiddenV.Cap())
+	}
+	if g.NumEdges() > o.forbiddenE.Cap() {
+		return fmt.Errorf("fault: rebind graph has %d edges, over EdgeCapacity %d",
+			g.NumEdges(), o.forbiddenE.Cap())
+	}
+	o.g = g
+	return nil
+}
+
 // Calls returns the number of oracle queries served so far.
 func (o *Oracle) Calls() int64 { return o.calls }
 
@@ -201,22 +227,74 @@ func (o *Oracle) FindFaultSet(u, v int, bound float64, budget int) ([]int, bool,
 	return witness, true, nil
 }
 
+// ValidateWitness checks with a single bounded reachability test whether w
+// still witnesses dist_{g\w}(u,v) > bound on the oracle's CURRENT graph.
+// This is how the parallel greedy salvages speculative answers computed
+// against a stale spanner snapshot: a witness that survives one Dijkstra-
+// priced revalidation proves the edge must still be kept, with no need to
+// re-run the exponential search. Elements containing an endpoint (Vertices
+// mode) report false without running; out-of-range elements are an error.
+// The budget is not re-checked here — w came from a budget-respecting query.
+func (o *Oracle) ValidateWitness(u, v int, bound float64, w []int) (bool, error) {
+	if u < 0 || u >= o.g.NumVertices() || v < 0 || v >= o.g.NumVertices() || u == v {
+		return false, fmt.Errorf("fault: invalid witness-validation pair (%d,%d)", u, v)
+	}
+	if o.g.NumEdges() > o.forbiddenE.Cap() {
+		return false, fmt.Errorf("fault: graph grew past EdgeCapacity %d", o.forbiddenE.Cap())
+	}
+	o.forbiddenV.Clear()
+	o.forbiddenE.Clear()
+	for _, x := range w {
+		if o.mode == Vertices {
+			if x == u || x == v {
+				return false, nil
+			}
+			if x < 0 || x >= o.forbiddenV.Cap() {
+				return false, fmt.Errorf("fault: witness vertex %d out of range", x)
+			}
+			o.forbiddenV.Add(x)
+		} else {
+			if x < 0 || x >= o.forbiddenE.Cap() {
+				return false, fmt.Errorf("fault: witness edge %d out of range", x)
+			}
+			o.forbiddenE.Add(x)
+		}
+	}
+	return !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE), nil
+}
+
+// NoteWitness offers an externally discovered witness fault set to the
+// reuse LRU (a no-op under DisableWitnessReuse). The parallel greedy feeds
+// it the witnesses of speculatively committed edges so the live oracle's
+// cache stays as warm as a sequential run's would be. The slice is copied.
+func (o *Oracle) NoteWitness(w []int) { o.remember(w) }
+
+// runReach runs one bounded reachability test against the oracle's graph
+// with the given masks, dispatching to the bidirectional engine unless
+// ablated, and reports whether v is within bound of u. On success the
+// solver holds a valid <=bound u-v path for extraction.
+func (o *Oracle) runReach(u, v int, bound float64, fv, fe *bitset.Set) bool {
+	o.dijkstras++
+	opts := sssp.Options{ForbiddenVertices: fv, ForbiddenEdges: fe, Bound: bound}
+	var err error
+	if o.opts.DisableBidi {
+		err = o.solver.RunReach(o.g, u, v, opts)
+	} else {
+		err = o.solver.RunReachBidi(o.g, u, v, opts)
+	}
+	if err != nil {
+		// Unreachable: endpoints are validated and never forbidden.
+		panic(err)
+	}
+	return o.solver.Reached(v)
+}
+
 // search reports whether the currently chosen faults can be extended by at
 // most budget more elements into a witness. On success the chosen faults
 // (o.chosen and the forbidden sets) hold the witness. top is true for the
 // query-level invocation, where witness reuse applies.
 func (o *Oracle) search(u, v int, bound float64, budget int, top bool) bool {
-	o.dijkstras++
-	err := o.solver.RunReach(o.g, u, v, sssp.Options{
-		ForbiddenVertices: o.forbiddenV,
-		ForbiddenEdges:    o.forbiddenE,
-		Bound:             bound,
-	})
-	if err != nil {
-		// Unreachable: endpoints are validated and never forbidden.
-		panic(err)
-	}
-	if !o.solver.Reached(v) {
+	if !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE) {
 		return true // dist > bound already; chosen faults are a witness
 	}
 	if budget == 0 {
@@ -306,16 +384,7 @@ func (o *Oracle) tryCachedWitnesses(u, v int, bound float64, budget int, pathEle
 				o.forbiddenE.Add(x)
 			}
 		}
-		o.dijkstras++
-		err := o.solver.RunReach(o.g, u, v, sssp.Options{
-			ForbiddenVertices: o.forbiddenV,
-			ForbiddenEdges:    o.forbiddenE,
-			Bound:             bound,
-		})
-		if err != nil {
-			panic(err) // unreachable: endpoints validated, never forbidden
-		}
-		if !o.solver.Reached(v) {
+		if !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE) {
 			o.chosen = append(o.chosen[:0], w...)
 			if i != 0 {
 				copy(o.witnesses[1:i+1], o.witnesses[:i])

@@ -30,18 +30,32 @@ func BarabasiAlbert(n, attach int, rng *rand.Rand) (*graph.Graph, error) {
 		g.MustAddEdge(0, v, 1)
 		urn = append(urn, 0, v)
 	}
-	chosen := make(map[int]bool, attach)
+	// chosen is an order-preserving small set: targets must be attached in
+	// the order they were drawn, NOT in map iteration order — the urn grows
+	// with each attachment, so iteration order would feed the runtime's map
+	// randomization back into later draws and make the whole topology
+	// nondeterministic under a fixed seed (the source of a long-standing
+	// integration-test flake).
+	chosen := make([]int, 0, attach)
 	for v := attach + 1; v < n; v++ {
-		for t := range chosen {
-			delete(chosen, t)
-		}
+		chosen = chosen[:0]
 		for len(chosen) < attach {
 			target := urn[rng.Intn(len(urn))]
-			if target != v {
-				chosen[target] = true
+			if target == v {
+				continue
+			}
+			dup := false
+			for _, c := range chosen {
+				if c == target {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, target)
 			}
 		}
-		for target := range chosen {
+		for _, target := range chosen {
 			g.MustAddEdge(v, target, 1)
 			urn = append(urn, v, target)
 		}

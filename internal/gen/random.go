@@ -145,3 +145,20 @@ func RandomizeWeights(g *graph.Graph, lo, hi float64, rng *rand.Rand) (*graph.Gr
 	}
 	return out, nil
 }
+
+// QuantizeWeights returns a copy of g whose edge weights are drawn
+// uniformly from the integer levels {1, 2, ..., levels}, preserving
+// topology and edge IDs. Quantized weights produce long runs of equal
+// weight in the greedy's scan order — the batch structure the speculative
+// parallel builder feeds on (roughly m/levels edges per batch) — which
+// continuous random weights almost never do.
+func QuantizeWeights(g *graph.Graph, levels int, rng *rand.Rand) (*graph.Graph, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("gen: weight levels must be >= 1, got %d", levels)
+	}
+	out := graph.New(g.NumVertices())
+	for _, e := range g.Edges() {
+		out.MustAddEdge(e.U, e.V, float64(1+rng.Intn(levels)))
+	}
+	return out, nil
+}

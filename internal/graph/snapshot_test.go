@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotIsFrozen verifies a view keeps seeing exactly the state at
+// snapshot time while the parent keeps growing, including across block
+// relocations and arena compaction.
+func TestSnapshotIsFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(30)
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var added []edge
+	addRandom := func() {
+		for {
+			u, v := rng.Intn(30), rng.Intn(30)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			w := 1 + rng.Float64()
+			g.MustAddEdge(u, v, w)
+			added = append(added, edge{u, v, w})
+			return
+		}
+	}
+	for i := 0; i < 40; i++ {
+		addRandom()
+	}
+
+	snap := g.Snapshot()
+	wantN, wantM := g.NumVertices(), g.NumEdges()
+	wantDigest := snap.Digest()
+
+	// Grow the parent well past the snapshot: enough inserts to force many
+	// block relocations and at least one compaction.
+	for i := 0; i < 300 && g.NumEdges() < 30*29/2; i++ {
+		addRandom()
+	}
+	g.AddVertex()
+	g.Compact()
+
+	if snap.NumVertices() != wantN || snap.NumEdges() != wantM {
+		t.Fatalf("snapshot grew: n=%d m=%d, want n=%d m=%d",
+			snap.NumVertices(), snap.NumEdges(), wantN, wantM)
+	}
+	if got := snap.Digest(); got != wantDigest {
+		t.Fatalf("snapshot digest changed after parent mutation: %s != %s", got, wantDigest)
+	}
+	// Adjacency of the view must cover exactly the first wantM edges.
+	deg := make([]int, wantN)
+	for _, e := range added[:wantM] {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	for v := 0; v < wantN; v++ {
+		if snap.Degree(v) != deg[v] {
+			t.Fatalf("vertex %d: snapshot degree %d, want %d", v, snap.Degree(v), deg[v])
+		}
+		for _, arc := range snap.Neighbors(v) {
+			if arc.ID >= wantM {
+				t.Fatalf("vertex %d: snapshot arc references post-snapshot edge %d", v, arc.ID)
+			}
+			e := snap.Edge(arc.ID)
+			if e.Other(v) != arc.To || e.Weight != arc.Weight {
+				t.Fatalf("vertex %d: snapshot arc %+v disagrees with edge %+v", v, arc, e)
+			}
+		}
+	}
+}
+
+// TestSnapshotRejectsMutation checks the read-only guards.
+func TestSnapshotRejectsMutation(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	snap := g.Snapshot()
+
+	if _, err := snap.AddEdge(1, 2, 1); err != ErrReadOnlyView {
+		t.Fatalf("AddEdge on view: err=%v, want ErrReadOnlyView", err)
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on view did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddVertex", func() { snap.AddVertex() })
+	mustPanic("Compact", func() { snap.Compact() })
+	mustPanic("EdgeBetween", func() { snap.EdgeBetween(0, 1) })
+	mustPanic("HasEdge", func() { snap.HasEdge(0, 1) })
+}
+
+// TestSnapshotCloneIsMutable verifies Clone rebuilds the endpoint index, so
+// a cloned view is a full graph again.
+func TestSnapshotCloneIsMutable(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	c := g.Snapshot().Clone()
+	if !c.HasEdge(0, 1) || !c.HasEdge(1, 2) {
+		t.Fatal("cloned view lost edges from its index")
+	}
+	if _, err := c.AddEdge(2, 3, 1); err != nil {
+		t.Fatalf("cloned view should be mutable: %v", err)
+	}
+	if _, err := c.AddEdge(0, 1, 1); err == nil {
+		t.Fatal("cloned view accepted a parallel edge: index not rebuilt")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("mutating the clone touched the parent: m=%d", g.NumEdges())
+	}
+}
+
+// TestSnapshotConcurrentReads exercises view reads racing parent inserts;
+// run under -race this is the memory-model check the parallel greedy relies
+// on (workers query a snapshot of H while the scan goroutine commits edges).
+func TestSnapshotConcurrentReads(t *testing.T) {
+	g := New(64)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		u, v := rng.Intn(64), rng.Intn(64)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, 1+rng.Float64())
+		}
+	}
+	snap := g.Snapshot()
+	m := snap.NumEdges()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				total := 0
+				for v := 0; v < snap.NumVertices(); v++ {
+					for _, arc := range snap.Neighbors(v) {
+						total += arc.ID
+						_ = snap.Edge(arc.ID)
+					}
+				}
+				if snap.NumEdges() != m {
+					t.Errorf("snapshot edge count changed: %d != %d", snap.NumEdges(), m)
+					return
+				}
+				_ = total
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		u, v := rng.Intn(64), rng.Intn(64)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, 1+rng.Float64())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -89,6 +89,15 @@ func (h *Heap) Push(item int, key float64) {
 	h.up(len(h.heap) - 1)
 }
 
+// PeekMin returns the item with the smallest key and that key without
+// removing it. It panics on an empty heap; callers check Len first. The
+// bidirectional bounded search uses it to alternate frontiers by comparing
+// the two heaps' next keys.
+func (h *Heap) PeekMin() (item int, key float64) {
+	item = h.heap[0]
+	return item, h.keys[item]
+}
+
 // PopMin removes and returns the item with the smallest key. It panics on an
 // empty heap; callers check Len first.
 func (h *Heap) PopMin() (item int, key float64) {

@@ -18,6 +18,11 @@ import (
 // the server to materialize an absurdly large graph.
 const maxGeneratedSize = 1 << 20
 
+// maxParallelism caps the per-job speculative worker count: each worker
+// owns a full oracle (solver, memo table, bitsets), so an unbounded client
+// value would be a memory amplification lever.
+const maxParallelism = 64
+
 // newRand is the service's deterministic RNG constructor: same seed, same
 // randomized build or verification outcome.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -39,6 +44,12 @@ func normalizeSpec(spec *JobSpec) error {
 	}
 	if spec.Faults < 0 {
 		return fmt.Errorf("faults must be >= 0, got %d", spec.Faults)
+	}
+	if spec.Parallelism < 0 || spec.Parallelism > maxParallelism {
+		return fmt.Errorf("parallelism must be in [0,%d], got %d", maxParallelism, spec.Parallelism)
+	}
+	if spec.Parallelism > 1 && spec.Algorithm != AlgoGreedy {
+		return fmt.Errorf("parallelism applies to algorithm %q only, got %q", AlgoGreedy, spec.Algorithm)
 	}
 	switch spec.Algorithm {
 	case AlgoGreedy, AlgoConservative:
@@ -138,7 +149,10 @@ func materialize(spec *JobSpec) (*graph.Graph, error) {
 
 // cacheKeyFor derives the result cache key of a normalized spec and its
 // materialized graph. Only sampling-vft output depends on the seed, so the
-// seed is zeroed for every other algorithm.
+// seed is zeroed for every other algorithm. Parallelism never enters the
+// key: the parallel greedy's kept-edge set is provably identical to the
+// sequential one's, so one cached result serves every worker-count setting
+// (and in-flight dedup coalesces a P=4 submission onto a running P=0 build).
 func cacheKeyFor(spec JobSpec, g *graph.Graph) CacheKey {
 	key := CacheKey{
 		Digest:    g.Digest(),
@@ -172,10 +186,11 @@ func build(ctx context.Context, job *Job) (*buildResult, error) {
 	switch spec.Algorithm {
 	case AlgoGreedy, AlgoConservative:
 		opts := core.Options{
-			Stretch:  spec.Stretch,
-			Faults:   spec.Faults,
-			Mode:     mode,
-			Progress: hook,
+			Stretch:     spec.Stretch,
+			Faults:      spec.Faults,
+			Mode:        mode,
+			Progress:    hook,
+			Parallelism: spec.Parallelism,
 		}
 		var res *core.Result
 		if spec.Algorithm == AlgoGreedy {

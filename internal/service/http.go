@@ -111,6 +111,10 @@ type statsBody struct {
 	Dijkstras     int64   `json:"dijkstras"`
 	WitnessHits   int64   `json:"witness_hits"`
 	WitnessMisses int64   `json:"witness_misses"`
+	SpecBatches   int64   `json:"spec_batches,omitempty"`
+	SpecQueries   int64   `json:"spec_queries,omitempty"`
+	SpecHits      int64   `json:"spec_hits,omitempty"`
+	SpecWaste     int64   `json:"spec_waste,omitempty"`
 	DurationMS    float64 `json:"duration_ms"`
 }
 
@@ -146,6 +150,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Dijkstras:     st.Dijkstras,
 			WitnessHits:   st.WitnessHits,
 			WitnessMisses: st.WitnessMisses,
+			SpecBatches:   st.SpecBatches,
+			SpecQueries:   st.SpecQueries,
+			SpecHits:      st.SpecHits,
+			SpecWaste:     st.SpecWaste,
 			DurationMS:    float64(st.Duration.Microseconds()) / 1000,
 		}
 	}

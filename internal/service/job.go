@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
 	"github.com/ftspanner/ftspanner/internal/core"
 	"github.com/ftspanner/ftspanner/internal/graph"
@@ -53,6 +54,11 @@ type JobSpec struct {
 	// Seed drives randomized algorithms (sampling-vft). Deterministic
 	// algorithms ignore it, and it does not affect their cache key.
 	Seed int64 `json:"seed,omitempty"`
+	// Parallelism sets the greedy's speculative edge-batch worker count
+	// (core.Options.Parallelism); 0 and 1 select the sequential scan. The
+	// kept-edge set is identical at every setting, so it does not affect the
+	// cache key: a result built at any parallelism serves them all.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // GeneratorSpec names a server-side graph generator and its parameters.
@@ -110,6 +116,7 @@ type Job struct {
 	result  *buildResult
 	err     error
 	cached  bool
+	doneAt  time.Time     // when the job entered a terminal state; GC clock
 	done    chan struct{} // closed on entering a terminal state
 }
 
@@ -150,6 +157,7 @@ func (j *Job) setStateLocked(s State, e Event) {
 	e.State = s
 	j.appendEventLocked(e)
 	if s.Terminal() {
+		j.doneAt = time.Now()
 		close(j.done)
 	}
 }

@@ -16,6 +16,11 @@ type metrics struct {
 	dijkstras     atomic.Int64 // total shortest-path runs across completed builds
 	witnessHits   atomic.Int64 // oracle queries answered by a cached witness (completed builds)
 	witnessMisses atomic.Int64 // oracle queries that consulted the witness cache and branched anyway
+	specBatches   atomic.Int64 // same-weight edge batches speculated on (parallel builds)
+	specQueries   atomic.Int64 // speculative oracle queries issued against snapshots
+	specHits      atomic.Int64 // batch edges committed straight from speculation
+	specWaste     atomic.Int64 // batch edges invalidated and re-queried sequentially
+	jobsEvicted   atomic.Int64 // terminal jobs removed by the retention janitor
 
 	buildsInFlight atomic.Int64 // builds currently occupying a worker slot
 	maxInFlight    atomic.Int64 // high-water mark of buildsInFlight
@@ -54,6 +59,19 @@ type MetricsSnapshot struct {
 	WitnessCacheHits     int64   `json:"witness_cache_hits"`
 	WitnessCacheMisses   int64   `json:"witness_cache_misses"`
 	WitnessCacheHitRatio float64 `json:"witness_cache_hit_ratio"`
+	// Spec* aggregate the parallel greedy's speculation counters across
+	// completed builds: batches speculated, speculative queries issued,
+	// edges committed straight from a speculative answer, and edges whose
+	// speculation was invalidated by an earlier commit and re-queried (the
+	// wasted work).
+	SpecBatches  int64   `json:"spec_batches"`
+	SpecQueries  int64   `json:"spec_queries"`
+	SpecHits     int64   `json:"spec_hits"`
+	SpecWaste    int64   `json:"spec_waste"`
+	SpecHitRatio float64 `json:"spec_hit_ratio"`
+	// JobsEvicted counts terminal jobs removed by the retention janitor;
+	// their IDs answer 404 afterwards.
+	JobsEvicted int64 `json:"jobs_evicted"`
 	// BuildsInFlight and MaxConcurrentBuilds gauge worker-pool usage: how
 	// many builds hold a slot right now and the most that ever did at once.
 	BuildsInFlight      int64 `json:"builds_in_flight"`
@@ -78,6 +96,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 		WitnessCacheHits:   s.met.witnessHits.Load(),
 		WitnessCacheMisses: s.met.witnessMisses.Load(),
 
+		SpecBatches: s.met.specBatches.Load(),
+		SpecQueries: s.met.specQueries.Load(),
+		SpecHits:    s.met.specHits.Load(),
+		SpecWaste:   s.met.specWaste.Load(),
+		JobsEvicted: s.met.jobsEvicted.Load(),
+
 		BuildsInFlight:      s.met.buildsInFlight.Load(),
 		MaxConcurrentBuilds: s.met.maxInFlight.Load(),
 	}
@@ -86,6 +110,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 	}
 	if total := snap.WitnessCacheHits + snap.WitnessCacheMisses; total > 0 {
 		snap.WitnessCacheHitRatio = float64(snap.WitnessCacheHits) / float64(total)
+	}
+	if total := snap.SpecHits + snap.SpecWaste; total > 0 {
+		snap.SpecHitRatio = float64(snap.SpecHits) / float64(total)
 	}
 	s.mu.Lock()
 	snap.QueueDepth = len(s.pending)

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// parallelSpec is smallSpec with quantized weights implied by the random
+// generator's unit weights (one giant same-weight batch) plus a worker
+// count, exercising the speculative path end to end.
+func parallelSpec(seed int64, p int) JobSpec {
+	s := smallSpec(seed)
+	s.Parallelism = p
+	return s
+}
+
+// TestParallelJobEndToEnd submits a parallel build and checks the job
+// completes with speculation stats surfaced in both the job status and
+// /metrics.
+func TestParallelJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	sub := submitJob(t, ts, parallelSpec(5, 4))
+	st := waitState(t, ts, sub.ID, StateDone)
+	if st.Stats == nil {
+		t.Fatal("done job has no stats")
+	}
+	// The random generator emits unit weights: the whole scan is one batch.
+	if st.Stats.SpecBatches < 1 || st.Stats.SpecQueries == 0 {
+		t.Fatalf("parallel build reported no speculation: %+v", *st.Stats)
+	}
+	if st.Stats.SpecHits+st.Stats.SpecWaste != st.Stats.SpecQueries {
+		t.Fatalf("spec accounting leak: %+v", *st.Stats)
+	}
+	m := getMetrics(t, ts)
+	if m.SpecBatches < 1 || m.SpecQueries != st.Stats.SpecQueries ||
+		m.SpecHits != st.Stats.SpecHits || m.SpecWaste != st.Stats.SpecWaste {
+		t.Fatalf("metrics do not aggregate speculation counters: %+v vs %+v", m, *st.Stats)
+	}
+}
+
+// TestParallelismSharesCacheKey verifies the determinism guarantee is
+// exploited by the cache: a result built sequentially answers a parallel
+// submission of the same spec (and vice versa) without a rebuild, and the
+// spanners are identical.
+func TestParallelismSharesCacheKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	seqSub := submitJob(t, ts, parallelSpec(9, 0))
+	waitState(t, ts, seqSub.ID, StateDone)
+	var seqSpanner spannerResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+seqSub.ID+"/spanner", nil, &seqSpanner); code != http.StatusOK {
+		t.Fatalf("spanner returned %d", code)
+	}
+
+	parSub := submitJob(t, ts, parallelSpec(9, 8))
+	if !parSub.Cached {
+		t.Fatalf("parallel submission of an already-built spec did not hit the cache: %+v", parSub)
+	}
+	var parSpanner spannerResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+parSub.ID+"/spanner", nil, &parSpanner); code != http.StatusOK {
+		t.Fatalf("spanner returned %d", code)
+	}
+	if !reflect.DeepEqual(seqSpanner.Kept, parSpanner.Kept) || seqSpanner.Spanner != parSpanner.Spanner {
+		t.Fatal("cached parallel result differs from sequential build")
+	}
+}
+
+// TestParallelismValidation pins the spec validation: negative or oversized
+// worker counts and non-greedy algorithms are rejected.
+func TestParallelismValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	bad := []JobSpec{
+		func() JobSpec { s := smallSpec(1); s.Parallelism = -1; return s }(),
+		func() JobSpec { s := smallSpec(1); s.Parallelism = maxParallelism + 1; return s }(),
+		func() JobSpec {
+			s := smallSpec(1)
+			s.Parallelism = 4
+			s.Algorithm = AlgoConservative
+			return s
+		}(),
+	}
+	for i, spec := range bad {
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec, nil); code != http.StatusBadRequest {
+			t.Fatalf("bad spec %d accepted with code %d", i, code)
+		}
+	}
+}

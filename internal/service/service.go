@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // Config sizes a Server. Zero values select the documented defaults.
@@ -39,7 +40,16 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies, which contain inline graphs
 	// (default 8 MiB).
 	MaxBodyBytes int64
+	// JobRetention bounds how long terminal jobs (done, failed, cancelled)
+	// stay addressable after finishing; a background janitor evicts older
+	// ones, and evicted job IDs answer 404. Without it the in-memory job map
+	// grows forever under sustained traffic. Zero selects the default of 15
+	// minutes; negative disables eviction. Results outlive their jobs in the
+	// LRU cache, so an evicted job's spanner is still one resubmission away.
+	JobRetention time.Duration
 }
+
+const defaultJobRetention = 15 * time.Minute
 
 func (c *Config) applyDefaults() {
 	if c.Workers <= 0 {
@@ -53,6 +63,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = defaultJobRetention
 	}
 }
 
@@ -98,7 +111,55 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.JobRetention > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
 	return s
+}
+
+// janitor periodically evicts terminal jobs older than JobRetention.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	interval := s.cfg.JobRetention / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.sweepExpired(time.Now())
+		}
+	}
+}
+
+// sweepExpired removes terminal jobs whose retention lapsed before now and
+// returns how many were evicted. Queued and running jobs are never touched.
+func (s *Server) sweepExpired(now time.Time) int {
+	cutoff := now.Add(-s.cfg.JobRetention)
+	evicted := 0
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		expired := j.state.Terminal() && !j.doneAt.IsZero() && j.doneAt.Before(cutoff)
+		j.mu.Unlock()
+		if expired {
+			delete(s.jobs, id)
+			evicted++
+		}
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.met.jobsEvicted.Add(int64(evicted))
+	}
+	return evicted
 }
 
 // Close cancels every in-flight build and waits for the workers to exit.
@@ -207,6 +268,10 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 		s.met.dijkstras.Add(res.stats.Dijkstras)
 		s.met.witnessHits.Add(res.stats.WitnessHits)
 		s.met.witnessMisses.Add(res.stats.WitnessMisses)
+		s.met.specBatches.Add(res.stats.SpecBatches)
+		s.met.specQueries.Add(res.stats.SpecQueries)
+		s.met.specHits.Add(res.stats.SpecHits)
+		s.met.specWaste.Add(res.stats.SpecWaste)
 		s.cache.Put(job.key, res)
 	case errors.Is(err, context.Canceled):
 		s.met.jobsCancelled.Add(1)

@@ -1,0 +1,224 @@
+package sssp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/bitset"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// checkBidiAgainstReach runs both bounded-reachability engines on one query
+// and cross-checks the verdicts, then validates the bidirectional path in
+// full: endpoints, edge existence, mask avoidance, bound, and simplicity.
+func checkBidiAgainstReach(t *testing.T, g *graph.Graph, u, v int, fv, fe *bitset.Set, bound float64) {
+	t.Helper()
+	opts := Options{ForbiddenVertices: fv, ForbiddenEdges: fe, Bound: bound}
+	n := g.NumVertices()
+
+	uni := NewSolver(n)
+	if err := uni.RunReach(g, u, v, opts); err != nil {
+		t.Fatal(err)
+	}
+	bidi := NewSolver(n)
+	if err := bidi.RunReachBidi(g, u, v, opts); err != nil {
+		t.Fatal(err)
+	}
+	if uni.Reached(v) != bidi.Reached(v) {
+		t.Fatalf("(%d,%d) bound=%v: RunReach reached=%v, RunReachBidi reached=%v",
+			u, v, bound, uni.Reached(v), bidi.Reached(v))
+	}
+	if !bidi.Reached(v) {
+		return
+	}
+
+	path := bidi.PathTo(g, v)
+	if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
+		t.Fatalf("(%d,%d): bad bidi path %v", u, v, path)
+	}
+	edges := bidi.PathEdgesTo(g, v)
+	if len(edges) != len(path)-1 {
+		t.Fatalf("(%d,%d): %d path edges for %d vertices", u, v, len(edges), len(path))
+	}
+	seen := make(map[int]bool, len(path))
+	var weight float64
+	for i, x := range path {
+		if seen[x] {
+			t.Fatalf("(%d,%d): bidi path %v is not simple (repeats %d)", u, v, path, x)
+		}
+		seen[x] = true
+		if fv.Contains(x) {
+			t.Fatalf("(%d,%d): bidi path %v crosses forbidden vertex %d", u, v, path, x)
+		}
+		if i == 0 {
+			continue
+		}
+		e := g.Edge(edges[i-1])
+		if !(e.U == path[i-1] && e.V == x) && !(e.V == path[i-1] && e.U == x) {
+			t.Fatalf("(%d,%d): path edge %d does not join step (%d,%d)", u, v, e.ID, path[i-1], x)
+		}
+		if fe.Contains(e.ID) {
+			t.Fatalf("(%d,%d): bidi path uses forbidden edge %d", u, v, e.ID)
+		}
+		weight += e.Weight
+	}
+	effBound := bound
+	if effBound <= 0 {
+		effBound = math.Inf(1)
+	}
+	if weight > effBound+1e-9 {
+		t.Fatalf("(%d,%d): bidi path weight %v exceeds bound %v", u, v, weight, bound)
+	}
+	if d := bidi.Dist(v); math.Abs(d-weight) > 1e-9 {
+		t.Fatalf("(%d,%d): Dist reports %v but spliced path weighs %v", u, v, d, weight)
+	}
+	// The exact shortest distance lower-bounds the reported walk.
+	exact := NewSolver(n)
+	if err := exact.RunTarget(g, u, v, Options{ForbiddenVertices: fv, ForbiddenEdges: fe}); err != nil {
+		t.Fatal(err)
+	}
+	if weight < exact.Dist(v)-1e-9 {
+		t.Fatalf("(%d,%d): bidi path weight %v below true shortest %v", u, v, weight, exact.Dist(v))
+	}
+}
+
+// TestRunReachBidiMatchesRunReach sweeps randomized graphs, bounds, and
+// forbidden masks of both kinds — the differential contract behind using the
+// bidirectional engine inside the fault oracle.
+func TestRunReachBidiMatchesRunReach(t *testing.T) {
+	trials := 1200
+	if testing.Short() {
+		trials = 200
+	}
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(24)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		if g.NumEdges() == 0 {
+			continue
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		var fv, fe *bitset.Set
+		if rng.Intn(3) > 0 {
+			fv = bitset.New(n)
+			for i := 0; i < rng.Intn(n/2+1); i++ {
+				if x := rng.Intn(n); x != u {
+					fv.Add(x) // the target may be forbidden: both engines report unreached
+				}
+			}
+		}
+		if rng.Intn(3) > 0 {
+			fe = bitset.New(g.NumEdges())
+			for i := 0; i < rng.Intn(g.NumEdges()/2+1); i++ {
+				fe.Add(rng.Intn(g.NumEdges()))
+			}
+		}
+		var bound float64
+		switch rng.Intn(4) {
+		case 0:
+			bound = 0 // unbounded
+		case 1:
+			bound = 0.5 + rng.Float64() // tight
+		default:
+			bound = 1 + 12*rng.Float64()
+		}
+		checkBidiAgainstReach(t, g, u, v, fv, fe, bound)
+	}
+}
+
+// TestRunReachBidiEdgeCases pins the degenerate contracts: coincident
+// endpoints, forbidden source (error), forbidden target (unreached), and
+// solver reuse across engines.
+func TestRunReachBidiEdgeCases(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 5)
+	s := NewSolver(4)
+
+	if err := s.RunReachBidi(g, 2, 2, Options{Bound: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reached(2) {
+		t.Fatal("src==target must be reached")
+	}
+	if p := s.PathTo(g, 2); len(p) != 1 || p[0] != 2 {
+		t.Fatalf("src==target path %v, want [2]", p)
+	}
+
+	fv := bitset.New(4)
+	fv.Add(0)
+	if err := s.RunReachBidi(g, 0, 3, Options{ForbiddenVertices: fv}); err == nil {
+		t.Fatal("forbidden source must error")
+	}
+	if err := s.RunReachBidi(g, 3, 0, Options{ForbiddenVertices: fv}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reached(0) {
+		t.Fatal("forbidden target must be unreached")
+	}
+
+	if err := s.RunReachBidi(g, 5, 0, Options{}); err == nil {
+		t.Fatal("out-of-range source must error")
+	}
+	if err := s.RunReachBidi(g, 0, 5, Options{}); err == nil {
+		t.Fatal("out-of-range target must error")
+	}
+
+	// Interleave with the forward-only engines on the same solver: state
+	// resets must keep them independent.
+	if err := s.RunReachBidi(g, 0, 3, Options{Bound: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reached(3) {
+		t.Fatal("0-3 within 7 must be reached")
+	}
+	if err := s.RunTarget(g, 0, 3, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Dist(3); got != 7 {
+		t.Fatalf("RunTarget after bidi: dist %v, want 7", got)
+	}
+	if err := s.RunReachBidi(g, 0, 3, Options{Bound: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reached(3) {
+		t.Fatal("0-3 within 6 must be unreached")
+	}
+}
+
+// TestRunReachBidiAfterEnsure checks the lazily allocated backward state
+// survives solver growth.
+func TestRunReachBidiAfterEnsure(t *testing.T) {
+	small := graph.New(3)
+	small.MustAddEdge(0, 1, 1)
+	small.MustAddEdge(1, 2, 1)
+	s := NewSolver(3)
+	if err := s.RunReachBidi(small, 0, 2, Options{Bound: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reached(2) {
+		t.Fatal("0-2 within 2 must be reached")
+	}
+	big := graph.New(40)
+	for i := 1; i < 40; i++ {
+		big.MustAddEdge(i-1, i, 1)
+	}
+	s.Ensure(40)
+	if err := s.RunReachBidi(big, 0, 39, Options{Bound: 39}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reached(39) {
+		t.Fatal("0-39 within 39 must be reached after Ensure")
+	}
+	if err := s.RunReachBidi(big, 0, 39, Options{Bound: 38.5}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reached(39) {
+		t.Fatal("0-39 within 38.5 must be unreached")
+	}
+}

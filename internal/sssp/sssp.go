@@ -38,6 +38,10 @@ type Solver struct {
 	parentEdge []int
 	settled    []bool
 	touched    []int
+
+	// b is the backward-search state of RunReachBidi, allocated lazily so
+	// forward-only solvers stay at half the footprint.
+	b *bidi
 }
 
 // NewSolver returns a Solver for graphs with up to n vertices.
@@ -80,6 +84,9 @@ func (s *Solver) Ensure(n int) {
 	copy(settled, s.settled)
 	s.dist, s.parentEdge, s.settled = dist, parentEdge, settled
 	s.heap.Grow(n)
+	if s.b != nil {
+		s.ensureBidi()
+	}
 }
 
 // Run computes shortest paths from src to every reachable vertex of g under

@@ -1,0 +1,24 @@
+package verify
+
+import "math"
+
+// SizeBound returns the paper's size envelope for fault-tolerant greedy
+// spanners: f^(1-1/k) · n^(1+1/k), the existentially optimal edge count
+// (up to a constant factor) of an f-vertex-fault-tolerant (2k-1)-spanner on
+// n vertices (Bodwin–Patel, Theorem 1). f = 0 degenerates to the classic
+// non-faulty greedy bound n^(1+1/k).
+//
+// The function reports the envelope WITHOUT its constant: property tests
+// compare built spanner sizes against C·SizeBound for a fixed small C,
+// which pins the growth trend — the paper's headline claim — rather than
+// any particular constant.
+func SizeBound(n, f, k int) float64 {
+	if n < 1 || k < 1 {
+		return 0
+	}
+	ff := float64(f)
+	if f < 1 {
+		ff = 1
+	}
+	return math.Pow(ff, 1-1/float64(k)) * math.Pow(float64(n), 1+1/float64(k))
+}
