@@ -1,11 +1,14 @@
 // Command ftserve runs the fault-tolerant spanner build service: an
-// HTTP/JSON API that queues build jobs onto a bounded worker pool and
-// serves repeated requests from an LRU result cache.
+// HTTP/JSON API that queues build jobs onto weighted priority queues
+// drained by a bounded worker pool, serves repeated requests from an
+// in-memory LRU result cache, and (with -store-dir) persists results to a
+// durable content-addressed store so restarts come up warm.
 //
 // Usage:
 //
-//	ftserve [-addr :8437] [-workers 4] [-queue 64] [-cache 128] [-max-body 8388608]
-//	        [-retention 15m] [-pprof addr]
+//	ftserve [-addr :8437] [-workers 4] [-queue 64] [-queue-caps high=32,normal=48,low=16]
+//	        [-cache 128] [-store-dir DIR] [-store-max-bytes 268435456]
+//	        [-max-body 8388608] [-retention 15m] [-pprof addr]
 //
 // See the repository README for the endpoint reference, curl examples, and
 // the profiling workflow behind the -pprof flag.
@@ -21,6 +24,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,14 +39,49 @@ type options struct {
 	cfg       service.Config
 }
 
+// parseQueueCaps parses the -queue-caps value: comma-separated
+// class=depth pairs, e.g. "high=32,normal=48,low=16". Omitted classes keep
+// the default (the global queue depth).
+func parseQueueCaps(s string) (map[service.Priority]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	caps := make(map[service.Priority]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("queue-caps: %q is not class=depth", part)
+		}
+		p := service.Priority(name)
+		switch p {
+		case service.PriorityHigh, service.PriorityNormal, service.PriorityLow:
+		default:
+			return nil, fmt.Errorf("queue-caps: unknown class %q (want high, normal, or low)", name)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("queue-caps: %q needs a positive depth, got %q", name, val)
+		}
+		caps[p] = n
+	}
+	return caps, nil
+}
+
 // parseArgs parses argv (without the program name) into options.
 func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("ftserve", flag.ContinueOnError)
 	var opts options
+	var queueCaps string
 	fs.StringVar(&opts.addr, "addr", ":8437", "listen address")
 	fs.IntVar(&opts.cfg.Workers, "workers", 4, "build worker pool size")
-	fs.IntVar(&opts.cfg.QueueDepth, "queue", 64, "job queue capacity; submissions beyond it get 503")
+	fs.IntVar(&opts.cfg.QueueDepth, "queue", 64, "total job queue capacity; submissions beyond it get 503")
+	fs.StringVar(&queueCaps, "queue-caps", "",
+		"per-priority queue caps as class=depth pairs (e.g. high=32,normal=48,low=16); a full class answers 429 with Retry-After")
 	fs.IntVar(&opts.cfg.CacheEntries, "cache", 128, "result LRU cache entries")
+	fs.StringVar(&opts.cfg.StoreDir, "store-dir", "",
+		"directory of the durable content-addressed result store; empty disables persistence")
+	fs.Int64Var(&opts.cfg.StoreMaxBytes, "store-max-bytes", 256<<20,
+		"on-disk byte bound of the result store (LRU-evicted in the background); negative for unbounded")
 	fs.Int64Var(&opts.cfg.MaxBodyBytes, "max-body", 8<<20, "request body size limit in bytes")
 	fs.DurationVar(&opts.cfg.JobRetention, "retention", 15*time.Minute,
 		"how long finished jobs stay addressable before eviction (0 for the default, negative to keep forever)")
@@ -55,6 +95,22 @@ func parseArgs(args []string) (options, error) {
 	if opts.cfg.Workers < 1 || opts.cfg.QueueDepth < 1 || opts.cfg.CacheEntries < 1 || opts.cfg.MaxBodyBytes < 1 {
 		return options{}, fmt.Errorf("workers, queue, cache, and max-body must all be positive")
 	}
+	if opts.cfg.StoreMaxBytes == 0 {
+		return options{}, fmt.Errorf("store-max-bytes must be positive (or negative for unbounded)")
+	}
+	caps, err := parseQueueCaps(queueCaps)
+	if err != nil {
+		return options{}, err
+	}
+	// The global -queue bound is checked before any class cap, so a cap at
+	// or above it would silently never produce its documented 429; reject
+	// the misconfiguration instead of surprising the operator.
+	for p, n := range caps {
+		if n >= opts.cfg.QueueDepth {
+			return options{}, fmt.Errorf("queue-caps: %s=%d is not below the global queue depth %d, so it would never apply", p, n, opts.cfg.QueueDepth)
+		}
+	}
+	opts.cfg.QueueCaps = caps
 	return opts, nil
 }
 
@@ -79,7 +135,10 @@ func main() {
 		log.Fatalf("ftserve: %v", err)
 	}
 
-	svc := service.New(opts.cfg)
+	svc, err := service.New(opts.cfg)
+	if err != nil {
+		log.Fatalf("ftserve: %v", err)
+	}
 	httpSrv := &http.Server{Addr: opts.addr, Handler: svc}
 
 	// Profiling is opt-in and served on its own listener so the debug
@@ -103,6 +162,9 @@ func main() {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
+	if opts.cfg.StoreDir != "" {
+		log.Printf("ftserve: durable result store at %s (max %d bytes)", opts.cfg.StoreDir, opts.cfg.StoreMaxBytes)
+	}
 	log.Printf("ftserve: listening on %s (workers=%d queue=%d cache=%d)",
 		opts.addr, opts.cfg.Workers, opts.cfg.QueueDepth, opts.cfg.CacheEntries)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/service"
+)
 
 func TestParseArgsDefaults(t *testing.T) {
 	opts, err := parseArgs(nil)
@@ -26,12 +30,64 @@ func TestParseArgsOverrides(t *testing.T) {
 	}
 }
 
+func TestParseArgsStoreAndQueueCaps(t *testing.T) {
+	opts, err := parseArgs([]string{
+		"-store-dir", "/tmp/ftstore", "-store-max-bytes", "1048576",
+		"-queue-caps", "high=32, normal=48,low=16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.StoreDir != "/tmp/ftstore" || opts.cfg.StoreMaxBytes != 1<<20 {
+		t.Errorf("store config %+v", opts.cfg)
+	}
+	want := map[service.Priority]int{
+		service.PriorityHigh:   32,
+		service.PriorityNormal: 48,
+		service.PriorityLow:    16,
+	}
+	if len(opts.cfg.QueueCaps) != len(want) {
+		t.Fatalf("queue caps %+v, want %+v", opts.cfg.QueueCaps, want)
+	}
+	for p, n := range want {
+		if opts.cfg.QueueCaps[p] != n {
+			t.Errorf("queue cap %s=%d, want %d", p, opts.cfg.QueueCaps[p], n)
+		}
+	}
+
+	// Partial caps leave the other classes unset (they default to the
+	// global queue depth inside the service).
+	opts, err = parseArgs([]string{"-queue-caps", "low=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.cfg.QueueCaps) != 1 || opts.cfg.QueueCaps[service.PriorityLow] != 4 {
+		t.Errorf("partial queue caps %+v, want just low=4", opts.cfg.QueueCaps)
+	}
+
+	// Unset flag means nil caps.
+	opts, err = parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.QueueCaps != nil {
+		t.Errorf("default queue caps %+v, want nil", opts.cfg.QueueCaps)
+	}
+}
+
 func TestParseArgsRejectsBadValues(t *testing.T) {
 	for _, args := range [][]string{
 		{"-workers", "0"},
 		{"-queue", "-1"},
 		{"-cache", "0"},
 		{"-max-body", "0"},
+		{"-store-max-bytes", "0"},
+		{"-queue-caps", "high"},
+		{"-queue-caps", "urgent=3"},
+		{"-queue-caps", "low=0"},
+		{"-queue-caps", "low=x"},
+		{"-queue-caps", "normal=64"},             // not below the default -queue 64
+		{"-queue", "8", "-queue-caps", "high=9"}, // above an explicit depth
 		{"stray"},
 		{"-no-such-flag"},
 	} {

@@ -78,20 +78,34 @@ const (
 
 // Serving types, re-exported for the ftserve HTTP service.
 type (
-	// ServerConfig sizes a spanner-build Server (workers, queue, cache).
+	// ServerConfig sizes a spanner-build Server (workers, queues, caches,
+	// durable store).
 	ServerConfig = service.Config
-	// Server is the ftserve HTTP job service: an http.Handler with a FIFO
-	// job queue, bounded worker pool, and LRU result cache.
+	// Server is the ftserve HTTP job service: an http.Handler with weighted
+	// priority job queues, a bounded worker pool, and a two-tier (memory
+	// LRU + durable on-disk store) result cache.
 	Server = service.Server
 	// JobSpec describes one build job submitted to a Server.
 	JobSpec = service.JobSpec
 	// GeneratorSpec names a server-side graph generator in a JobSpec.
 	GeneratorSpec = service.GeneratorSpec
+	// JobPriority is a job's scheduling class in a JobSpec.
+	JobPriority = service.Priority
 	// CacheKey identifies a build result in a Server's cache: the input
 	// graph's content digest plus every output-relevant parameter.
 	CacheKey = service.CacheKey
 	// MetricsSnapshot is a Server's GET /metrics payload.
 	MetricsSnapshot = service.MetricsSnapshot
+)
+
+// Job scheduling classes for JobSpec.Priority. Under a saturated worker
+// pool, queued jobs are dequeued weighted-fair at high:normal:low = 4:2:1,
+// and each class has its own admission cap (backpressure via 429 +
+// Retry-After) — see ServerConfig.QueueCaps.
+const (
+	PriorityHigh   = service.PriorityHigh
+	PriorityNormal = service.PriorityNormal
+	PriorityLow    = service.PriorityLow
 )
 
 // NewGraph returns an empty graph on n isolated vertices.
@@ -105,12 +119,16 @@ func DecodeGraph(r io.Reader) (*Graph, error) { return graph.Decode(r) }
 func GraphDigest(g *Graph) string { return g.Digest() }
 
 // NewServer returns a spanner-build HTTP service with its worker pool
-// already running; release it with Close. Serve it with net/http:
+// already running; release it with Close. With ServerConfig.StoreDir set it
+// opens the durable result store first (results persist across restarts)
+// and reports an error if the directory is unusable. Serve it with
+// net/http:
 //
-//	srv := ftspanner.NewServer(ftspanner.ServerConfig{Workers: 8})
+//	srv, err := ftspanner.NewServer(ftspanner.ServerConfig{Workers: 8, StoreDir: "/var/lib/ftserve"})
+//	if err != nil { ... }
 //	defer srv.Close()
 //	http.ListenAndServe(":8437", srv)
-func NewServer(cfg ServerConfig) *Server { return service.New(cfg) }
+func NewServer(cfg ServerConfig) (*Server, error) { return service.New(cfg) }
 
 // Build runs the fault-tolerant greedy algorithm with full control over the
 // options. Most callers use BuildVFT or BuildEFT.

@@ -39,6 +39,9 @@ func normalizeSpec(spec *JobSpec) error {
 	if _, err := parseMode(spec.Mode); err != nil {
 		return err
 	}
+	if err := normalizePriority(spec); err != nil {
+		return err
+	}
 	if spec.Stretch < 1 || math.IsInf(spec.Stretch, 0) || math.IsNaN(spec.Stretch) {
 		return fmt.Errorf("stretch must be a finite number >= 1, got %v", spec.Stretch)
 	}

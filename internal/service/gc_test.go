@@ -63,7 +63,7 @@ func TestJobRetentionEvictsTerminal(t *testing.T) {
 // the future. Driven directly (not via the janitor's clock) so the check
 // cannot race the build's actual duration.
 func TestJobRetentionSparesLiveJobs(t *testing.T) {
-	srv := New(Config{Workers: 1, JobRetention: time.Millisecond})
+	srv := mustNew(t, Config{Workers: 1, JobRetention: time.Millisecond})
 	defer srv.Close()
 
 	running, err := submitNormalized(srv, slowSpec(1))
@@ -95,7 +95,7 @@ func TestJobRetentionSparesLiveJobs(t *testing.T) {
 // covering the never-evict (negative retention handled by config) and
 // boundary paths without timing dependence.
 func TestSweepExpiredDirect(t *testing.T) {
-	srv := New(Config{Workers: 1, JobRetention: time.Hour})
+	srv := mustNew(t, Config{Workers: 1, JobRetention: time.Hour})
 	defer srv.Close()
 
 	job, err := submitNormalized(srv, smallSpec(7))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"github.com/ftspanner/ftspanner/internal/verify"
@@ -49,6 +50,9 @@ type submitResponse struct {
 	// Cached is true when the job was answered from the result cache
 	// without queueing a build.
 	Cached bool `json:"cached"`
+	// FromStore is true when the cache hit was served from the durable
+	// on-disk store (e.g. after a restart) rather than the in-memory LRU.
+	FromStore bool `json:"from_store,omitempty"`
 	// Deduplicated is true when the submission was coalesced onto an
 	// identical job already queued or running; ID names that job.
 	Deduplicated bool `json:"deduplicated"`
@@ -71,6 +75,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {
+			if se.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(se.retryAfter))
+			}
 			writeError(w, se.status, "%s", se.msg)
 		} else {
 			writeError(w, http.StatusInternalServerError, "%v", err)
@@ -78,7 +85,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.mu.Lock()
-	resp := submitResponse{ID: job.id, State: job.state, Cached: job.cached, Deduplicated: dedup}
+	resp := submitResponse{ID: job.id, State: job.state, Cached: job.cached,
+		FromStore: job.fromStore, Deduplicated: dedup}
 	job.mu.Unlock()
 	if resp.State == StateQueued && !dedup {
 		writeJSON(w, http.StatusAccepted, resp)
@@ -95,10 +103,12 @@ type statusResponse struct {
 	Mode         string     `json:"mode"`
 	Stretch      float64    `json:"stretch"`
 	Faults       int        `json:"faults"`
+	Priority     Priority   `json:"priority"`
 	GraphDigest  string     `json:"graph_digest"`
 	Vertices     int        `json:"vertices"`
 	InputEdges   int        `json:"input_edges"`
 	Cached       bool       `json:"cached"`
+	FromStore    bool       `json:"from_store,omitempty"`
 	SpannerEdges *int       `json:"spanner_edges,omitempty"`
 	Stats        *statsBody `json:"stats,omitempty"`
 	Error        string     `json:"error,omitempty"`
@@ -132,10 +142,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Mode:        job.spec.Mode,
 		Stretch:     job.spec.Stretch,
 		Faults:      job.spec.Faults,
+		Priority:    job.spec.Priority,
 		GraphDigest: job.key.Digest,
 		Vertices:    job.graph.NumVertices(),
 		InputEdges:  job.graph.NumEdges(),
 		Cached:      job.cached,
+		FromStore:   job.fromStore,
 	}
 	if job.err != nil {
 		resp.Error = job.err.Error()

@@ -59,6 +59,12 @@ type JobSpec struct {
 	// kept-edge set is identical at every setting, so it does not affect the
 	// cache key: a result built at any parallelism serves them all.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Priority is the scheduling class: "high", "normal" (the default), or
+	// "low". It orders a saturated pool's dequeues and selects the per-class
+	// queue cap; the result is identical at every priority, so it does not
+	// affect the cache key (and a duplicate submission coalesces onto the
+	// in-flight job whatever either priority says).
+	Priority Priority `json:"priority,omitempty"`
 }
 
 // GeneratorSpec names a server-side graph generator and its parameters.
@@ -103,6 +109,10 @@ type Job struct {
 	key   CacheKey
 	spec  JobSpec
 	graph *graph.Graph
+	// class is the scheduling class derived from spec.Priority; enqueuedAt
+	// feeds the per-class queue-age gauge.
+	class      class
+	enqueuedAt time.Time
 
 	// progressEvery throttles running-state events to one per this many
 	// scanned edges.
@@ -116,8 +126,11 @@ type Job struct {
 	result  *buildResult
 	err     error
 	cached  bool
-	doneAt  time.Time     // when the job entered a terminal state; GC clock
-	done    chan struct{} // closed on entering a terminal state
+	// fromStore marks a cache hit served from the durable disk tier rather
+	// than the in-memory LRU.
+	fromStore bool
+	doneAt    time.Time     // when the job entered a terminal state; GC clock
+	done      chan struct{} // closed on entering a terminal state
 }
 
 func newJob(id string, key CacheKey, spec JobSpec, g *graph.Graph) *Job {
@@ -132,6 +145,8 @@ func newJob(id string, key CacheKey, spec JobSpec, g *graph.Graph) *Job {
 		key:           key,
 		spec:          spec,
 		graph:         g,
+		class:         classOf(spec.Priority),
+		enqueuedAt:    time.Now(),
 		progressEvery: every,
 		state:         StateQueued,
 		updated:       make(chan struct{}),

@@ -1,16 +1,20 @@
 package service
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
-// metrics holds the server's monotonic counters. Gauges (queue depth, jobs
-// by state, cache entries) are computed at snapshot time from live state.
+// metrics holds the server's monotonic counters. Gauges (queue depths, jobs
+// by state, cache entries, store bytes) are computed at snapshot time from
+// live state.
 type metrics struct {
 	jobsSubmitted atomic.Int64 // accepted submissions (incl. cache hits and dedups)
 	buildsRun     atomic.Int64 // builds actually dispatched to a worker
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
-	cacheHits     atomic.Int64 // submissions answered from the LRU
+	cacheHits     atomic.Int64 // submissions answered from the in-memory LRU
 	cacheMisses   atomic.Int64 // submissions that had to queue a build
 	dedups        atomic.Int64 // submissions coalesced onto an in-flight job
 	dijkstras     atomic.Int64 // total shortest-path runs across completed builds
@@ -21,6 +25,10 @@ type metrics struct {
 	specHits      atomic.Int64 // batch edges committed straight from speculation
 	specWaste     atomic.Int64 // batch edges invalidated and re-queried sequentially
 	jobsEvicted   atomic.Int64 // terminal jobs removed by the retention janitor
+
+	// Per-priority-class scheduling counters, indexed by class.
+	dequeued [numClasses]atomic.Int64 // jobs handed to a worker from this class
+	rejected [numClasses]atomic.Int64 // submissions refused with 429 (class cap)
 
 	buildsInFlight atomic.Int64 // builds currently occupying a worker slot
 	maxInFlight    atomic.Int64 // high-water mark of buildsInFlight
@@ -40,20 +48,56 @@ func (m *metrics) buildStarted() {
 
 func (m *metrics) buildFinished() { m.buildsInFlight.Add(-1) }
 
+// QueueClassSnapshot reports one priority class's queue in GET /metrics.
+type QueueClassSnapshot struct {
+	// Depth and Cap are the class's current backlog and admission cap
+	// (submissions over it get 429 with Retry-After).
+	Depth int `json:"depth"`
+	Cap   int `json:"cap"`
+	// OldestAgeMS is how long the class's head job has been queued.
+	OldestAgeMS float64 `json:"oldest_age_ms"`
+	// Weight is the class's weighted-fair dequeue share.
+	Weight int `json:"weight"`
+	// Dequeued and Rejected count jobs handed to workers from this class and
+	// submissions bounced off its cap.
+	Dequeued int64 `json:"dequeued"`
+	Rejected int64 `json:"rejected"`
+}
+
 // MetricsSnapshot is the GET /metrics response.
 type MetricsSnapshot struct {
-	JobsSubmitted int64         `json:"jobs_submitted"`
-	BuildsRun     int64         `json:"builds_run"`
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	// BuildsTotal counts builds actually dispatched to a worker — cache and
+	// store hits do not increment it, which is how the restart-warm tests
+	// prove no recomputation happened.
+	BuildsTotal   int64         `json:"builds_total"`
 	JobsByState   map[State]int `json:"jobs_by_state"`
 	QueueDepth    int           `json:"queue_depth"`
 	QueueCapacity int           `json:"queue_capacity"`
-	Workers       int           `json:"workers"`
-	CacheHits     int64         `json:"cache_hits"`
-	CacheMisses   int64         `json:"cache_misses"`
-	CacheHitRatio float64       `json:"cache_hit_ratio"`
-	CacheEntries  int           `json:"cache_entries"`
-	Deduplicated  int64         `json:"deduplicated"`
-	Dijkstras     int64         `json:"dijkstras_total"`
+	// Queues breaks the backlog down by priority class.
+	Queues        map[Priority]QueueClassSnapshot `json:"queues"`
+	Workers       int                             `json:"workers"`
+	CacheHits     int64                           `json:"cache_hits"`
+	CacheMisses   int64                           `json:"cache_misses"`
+	CacheHitRatio float64                         `json:"cache_hit_ratio"`
+	CacheEntries  int                             `json:"cache_entries"`
+	// Store* report the durable disk tier: submissions answered from disk
+	// (store_hits), lookups that went to disk and found nothing
+	// (store_misses), records written, files quarantined as corrupt
+	// (store_corrupt_total), LRU evictions, and the current on-disk
+	// footprint. All zero with StoreEnabled false.
+	StoreEnabled      bool  `json:"store_enabled"`
+	StoreHits         int64 `json:"store_hits"`
+	StoreMisses       int64 `json:"store_misses"`
+	StoreWrites       int64 `json:"store_writes"`
+	StoreWriteErrors  int64 `json:"store_write_errors"`
+	StoreCorruptTotal int64 `json:"store_corrupt_total"`
+	StoreEvictions    int64 `json:"store_evictions"`
+	StoreEntries      int   `json:"store_entries"`
+	StoreBytes        int64 `json:"store_bytes"`
+	StoreMaxBytes     int64 `json:"store_max_bytes"`
+	Deduplicated      int64 `json:"deduplicated"`
+	Dijkstras         int64 `json:"dijkstras_total"`
 	// WitnessCacheHits/Misses aggregate the build oracle's witness-reuse
 	// counters across completed builds; the ratio is hits/(hits+misses).
 	WitnessCacheHits     int64   `json:"witness_cache_hits"`
@@ -83,9 +127,10 @@ type MetricsSnapshot struct {
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		JobsSubmitted: s.met.jobsSubmitted.Load(),
-		BuildsRun:     s.met.buildsRun.Load(),
+		BuildsTotal:   s.met.buildsRun.Load(),
 		JobsByState:   make(map[State]int),
 		QueueCapacity: s.cfg.QueueDepth,
+		Queues:        make(map[Priority]QueueClassSnapshot, numClasses),
 		Workers:       s.cfg.Workers,
 		CacheHits:     s.met.cacheHits.Load(),
 		CacheMisses:   s.met.cacheMisses.Load(),
@@ -114,8 +159,33 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if total := snap.SpecHits + snap.SpecWaste; total > 0 {
 		snap.SpecHitRatio = float64(snap.SpecHits) / float64(total)
 	}
+	if s.store != nil {
+		st := s.store.Snapshot()
+		snap.StoreEnabled = true
+		snap.StoreHits = st.Hits
+		snap.StoreMisses = st.Misses
+		snap.StoreWrites = st.Writes
+		snap.StoreWriteErrors = st.WriteErrors
+		snap.StoreCorruptTotal = st.CorruptTotal
+		snap.StoreEvictions = st.Evictions
+		snap.StoreEntries = st.Entries
+		snap.StoreBytes = st.Bytes
+		snap.StoreMaxBytes = st.MaxBytes
+	}
+	now := time.Now()
 	s.mu.Lock()
-	snap.QueueDepth = len(s.pending)
+	snap.QueueDepth = s.queues.totalLen()
+	for c := class(0); c < numClasses; c++ {
+		p := c.Priority()
+		snap.Queues[p] = QueueClassSnapshot{
+			Depth:       len(s.queues.q[c]),
+			Cap:         s.cfg.QueueCaps[p],
+			OldestAgeMS: float64(s.queues.oldestAge(c, now).Microseconds()) / 1000,
+			Weight:      classWeights[c],
+			Dequeued:    s.met.dequeued[c].Load(),
+			Rejected:    s.met.rejected[c].Load(),
+		}
+	}
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		snap.JobsByState[j.state]++

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// Priority is a job's scheduling class. Higher classes get proportionally
+// more worker dequeues when the pool is saturated, but no class starves:
+// the weighted-fair scheduler serves every backlogged class at least once
+// per weight-sum dequeues.
+type Priority string
+
+// Scheduling classes, highest first. The zero value selects normal.
+const (
+	PriorityHigh   Priority = "high"
+	PriorityNormal Priority = "normal"
+	PriorityLow    Priority = "low"
+)
+
+// class is a Priority's queue index; iteration order is highest first.
+type class int
+
+const (
+	classHigh class = iota
+	classNormal
+	classLow
+	numClasses
+)
+
+// classWeights are the weighted-fair dequeue shares: with every class
+// backlogged, workers drain high:normal:low at 4:2:1, and any job at the
+// head of its queue waits at most weightSum dequeues (the starvation
+// bound locked by TestLowPriorityStarvationBound).
+var classWeights = [numClasses]int{4, 2, 1}
+
+// weightSum is the scheduling cycle length: a backlogged class is served at
+// least once per this many dequeues.
+const weightSum = 7
+
+// classes maps Priority strings to queue indexes.
+var classes = map[Priority]class{
+	PriorityHigh:   classHigh,
+	PriorityNormal: classNormal,
+	PriorityLow:    classLow,
+}
+
+// classOf maps a Priority to its queue index, defaulting anything
+// unrecognized (notably the zero value) to normal — specs reach the queue
+// normalized, this is belt and braces.
+func classOf(p Priority) class {
+	if c, ok := classes[p]; ok {
+		return c
+	}
+	return classNormal
+}
+
+// Priority returns the class's Priority name.
+func (c class) Priority() Priority {
+	switch c {
+	case classHigh:
+		return PriorityHigh
+	case classLow:
+		return PriorityLow
+	default:
+		return PriorityNormal
+	}
+}
+
+// normalizePriority validates spec.Priority in place, defaulting empty to
+// normal.
+func normalizePriority(spec *JobSpec) error {
+	if spec.Priority == "" {
+		spec.Priority = PriorityNormal
+	}
+	if _, ok := classes[spec.Priority]; !ok {
+		return fmt.Errorf("unknown priority %q (want %q, %q, or %q)",
+			spec.Priority, PriorityHigh, PriorityNormal, PriorityLow)
+	}
+	return nil
+}
+
+// jobQueues is the server's pending-job structure: one FIFO per priority
+// class plus the smooth-weighted-round-robin state that picks the next
+// class to drain. All methods are called with Server.mu held.
+type jobQueues struct {
+	q  [numClasses][]*Job
+	cw [numClasses]int // smooth WRR current weights
+}
+
+// totalLen is the number of queued jobs across every class.
+func (jq *jobQueues) totalLen() int {
+	n := 0
+	for c := range jq.q {
+		n += len(jq.q[c])
+	}
+	return n
+}
+
+// push appends the job to its class's FIFO.
+func (jq *jobQueues) push(job *Job) {
+	jq.q[job.class] = append(jq.q[job.class], job)
+}
+
+// pop removes and returns the next job under smooth weighted round-robin
+// (the nginx algorithm): every non-empty class gains its weight, the
+// largest current weight wins and pays back the round's total. Empty
+// classes neither gain nor block, so a lone low-priority backlog drains at
+// full speed, while under contention class c receives a weight[c]/weightSum
+// share of dequeues.
+func (jq *jobQueues) pop() *Job {
+	best := class(-1)
+	total := 0
+	for c := range jq.q {
+		if len(jq.q[c]) == 0 {
+			continue
+		}
+		jq.cw[c] += classWeights[c]
+		total += classWeights[c]
+		if best < 0 || jq.cw[c] > jq.cw[best] {
+			best = class(c)
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	jq.cw[best] -= total
+	job := jq.q[best][0]
+	jq.q[best] = jq.q[best][1:]
+	return job
+}
+
+// remove deletes the job from its class's FIFO in place; a no-op when a
+// worker popped it first.
+func (jq *jobQueues) remove(job *Job) {
+	q := jq.q[job.class]
+	for i, p := range q {
+		if p == job {
+			jq.q[job.class] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// oldestAge returns how long the head of class c has been queued (zero when
+// the class is empty).
+func (jq *jobQueues) oldestAge(c class, now time.Time) time.Duration {
+	if len(jq.q[c]) == 0 {
+		return 0
+	}
+	return now.Sub(jq.q[c][0].enqueuedAt)
+}

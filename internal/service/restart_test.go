@@ -1,0 +1,278 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/store"
+)
+
+// spannerDigestOf fetches a done job's spanner and returns its content
+// digest plus the raw encoded text.
+func spannerDigestOf(t *testing.T, ts *httptest.Server, id string) (digest, encoded string, kept []int) {
+	t.Helper()
+	var sp spannerResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/spanner", nil, &sp); code != http.StatusOK {
+		t.Fatalf("spanner fetch returned %d", code)
+	}
+	h, err := graph.Decode(strings.NewReader(sp.Spanner))
+	if err != nil {
+		t.Fatalf("spanner does not decode: %v", err)
+	}
+	return h.Digest(), sp.Spanner, sp.Kept
+}
+
+// storeFiles lists the live record files under dir.
+func storeFiles(t *testing.T, dir, suffix string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*"+suffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestRestartWarmFromStore is the crash/restart e2e: build over HTTP, tear
+// the server down (a new Server over the same store directory is the
+// SIGKILL-equivalent — nothing in-process survives, only what was already
+// durable), and assert the second process serves the identical result from
+// disk without building.
+func TestRestartWarmFromStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, StoreDir: dir}
+	spec := smallSpec(5)
+
+	srv1, ts1 := newTestServer(t, cfg)
+	first := submitJob(t, ts1, spec)
+	waitState(t, ts1, first.ID, StateDone)
+	digest1, enc1, kept1 := spannerDigestOf(t, ts1, first.ID)
+	if m := getMetrics(t, ts1); !m.StoreEnabled || m.StoreWrites != 1 {
+		t.Fatalf("first process metrics %+v, want store enabled with one write", m)
+	}
+	if files := storeFiles(t, dir, ".ftr"); len(files) != 1 {
+		t.Fatalf("store dir holds %v, want one record", files)
+	}
+	// Abrupt teardown: the record went durable at build-finish time, so no
+	// shutdown flush is involved in what the next process sees.
+	ts1.Close()
+	srv1.Close()
+
+	srv2, ts2 := newTestServer(t, cfg)
+	second := submitJob(t, ts2, spec)
+	if !second.Cached || !second.FromStore || second.State != StateDone {
+		t.Fatalf("restart resubmission got %+v, want a done from_store cache hit", second)
+	}
+	digest2, enc2, kept2 := spannerDigestOf(t, ts2, second.ID)
+	if digest2 != digest1 || enc2 != enc1 {
+		t.Fatalf("restart-warm spanner differs from the original build:\n first  %s\n second %s", digest1, digest2)
+	}
+	if len(kept2) != len(kept1) {
+		t.Fatalf("kept lists differ: %v vs %v", kept1, kept2)
+	}
+	for i := range kept1 {
+		if kept1[i] != kept2[i] {
+			t.Fatalf("kept lists differ at %d: %v vs %v", i, kept1, kept2)
+		}
+	}
+	m := getMetrics(t, ts2)
+	if m.BuildsTotal != 0 {
+		t.Fatalf("builds_total=%d after a restart-warm hit, want 0 (no build may run)", m.BuildsTotal)
+	}
+	if m.StoreHits != 1 || m.StoreCorruptTotal != 0 {
+		t.Fatalf("store_hits=%d store_corrupt_total=%d, want 1 and 0", m.StoreHits, m.StoreCorruptTotal)
+	}
+	if m.CacheHits != 0 {
+		t.Fatalf("cache_hits=%d for a disk-tier hit, want 0 (it missed the memory LRU)", m.CacheHits)
+	}
+
+	// The disk hit warmed the memory LRU: a third submission is a plain
+	// memory hit, not another disk read.
+	third := submitJob(t, ts2, spec)
+	if !third.Cached || third.FromStore {
+		t.Fatalf("third submission got %+v, want a memory-tier hit", third)
+	}
+	m = getMetrics(t, ts2)
+	if m.CacheHits != 1 || m.StoreHits != 1 || m.BuildsTotal != 0 {
+		t.Fatalf("after memory-tier hit: cache_hits=%d store_hits=%d builds_total=%d, want 1/1/0",
+			m.CacheHits, m.StoreHits, m.BuildsTotal)
+	}
+	ts2.Close()
+	srv2.Close()
+}
+
+// TestRestartWarmAllAlgorithms: every algorithm's result — greedy,
+// conservative, and both baselines (whose kept sets also index the input
+// graph) — survives the restart round trip with an identical spanner.
+func TestRestartWarmAllAlgorithms(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, StoreDir: dir}
+	specs := []JobSpec{
+		{Generator: &GeneratorSpec{Name: "random", N: 24, M: 60, Seed: 3}, Stretch: 3, Faults: 1},
+		{Generator: &GeneratorSpec{Name: "random", N: 24, M: 60, Seed: 3}, Stretch: 3, Faults: 1, Algorithm: AlgoConservative},
+		{Generator: &GeneratorSpec{Name: "random", N: 24, M: 60, Seed: 3}, Stretch: 3, Faults: 1, Mode: "edge", Algorithm: AlgoUnionEFT},
+		{Generator: &GeneratorSpec{Name: "random", N: 24, M: 60, Seed: 3}, Stretch: 3, Faults: 1, Algorithm: AlgoSamplingVFT, Seed: 11},
+	}
+
+	srv1, ts1 := newTestServer(t, cfg)
+	digests := make([]string, len(specs))
+	for i, spec := range specs {
+		sub := submitJob(t, ts1, spec)
+		waitState(t, ts1, sub.ID, StateDone)
+		digests[i], _, _ = spannerDigestOf(t, ts1, sub.ID)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	srv2, ts2 := newTestServer(t, cfg)
+	for i, spec := range specs {
+		sub := submitJob(t, ts2, spec)
+		if !sub.FromStore {
+			t.Fatalf("spec %d (%s) not served from store after restart", i, spec.Algorithm)
+		}
+		if d, _, _ := spannerDigestOf(t, ts2, sub.ID); d != digests[i] {
+			t.Fatalf("spec %d (%s): restart digest %s != original %s", i, spec.Algorithm, d, digests[i])
+		}
+	}
+	if m := getMetrics(t, ts2); m.BuildsTotal != 0 || m.StoreHits != int64(len(specs)) {
+		t.Fatalf("metrics %+v, want zero builds and %d store hits", m, len(specs))
+	}
+	ts2.Close()
+	srv2.Close()
+}
+
+// TestCorruptStoreFilesQuarantinedAndRebuilt plants each corruption shape
+// in the store directory between two server generations: the second server
+// must quarantine the file (rename to .corrupt, count it in
+// store_corrupt_total), rebuild from scratch, and re-persist — corrupt
+// bytes are never served.
+func TestCorruptStoreFilesQuarantinedAndRebuilt(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(data []byte) []byte
+	}{
+		{"truncated", func(data []byte) []byte { return data[:len(data)/2] }},
+		{"flipped CRC byte", func(data []byte) []byte { data[12] ^= 0xFF; return data }},
+		{"wrong codec version", func(data []byte) []byte { data[4], data[5] = 0xFE, 0xCA; return data }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{Workers: 1, StoreDir: dir}
+			spec := smallSpec(9)
+
+			srv1, ts1 := newTestServer(t, cfg)
+			first := submitJob(t, ts1, spec)
+			waitState(t, ts1, first.ID, StateDone)
+			digest1, _, _ := spannerDigestOf(t, ts1, first.ID)
+			ts1.Close()
+			srv1.Close()
+
+			files := storeFiles(t, dir, ".ftr")
+			if len(files) != 1 {
+				t.Fatalf("store dir holds %v, want one record", files)
+			}
+			data, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(files[0], tc.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			srv2, ts2 := newTestServer(t, cfg)
+			sub := submitJob(t, ts2, spec)
+			if sub.Cached || sub.FromStore {
+				t.Fatalf("corrupt record was served: %+v", sub)
+			}
+			waitState(t, ts2, sub.ID, StateDone)
+			digest2, _, _ := spannerDigestOf(t, ts2, sub.ID)
+			if digest2 != digest1 {
+				t.Fatalf("rebuild digest %s != original %s", digest2, digest1)
+			}
+			m := getMetrics(t, ts2)
+			if m.StoreCorruptTotal != 1 {
+				t.Fatalf("store_corrupt_total=%d, want 1", m.StoreCorruptTotal)
+			}
+			if m.BuildsTotal != 1 || m.StoreWrites != 1 {
+				t.Fatalf("builds_total=%d store_writes=%d, want 1 and 1 (rebuild + re-persist)", m.BuildsTotal, m.StoreWrites)
+			}
+			if got := storeFiles(t, dir, ".corrupt"); len(got) != 1 {
+				t.Fatalf("quarantined files %v, want exactly one", got)
+			}
+			ts2.Close()
+			srv2.Close()
+
+			// The rebuild re-persisted: a third generation is warm again.
+			srv3, ts3 := newTestServer(t, cfg)
+			again := submitJob(t, ts3, spec)
+			if !again.FromStore {
+				t.Fatalf("third generation not served from the rebuilt record: %+v", again)
+			}
+			ts3.Close()
+			srv3.Close()
+		})
+	}
+}
+
+// TestTamperedRecordDigestMismatchQuarantined covers the integrity check
+// ABOVE the codec: a record with a valid CRC whose kept-edge list no longer
+// reproduces the recorded spanner digest (tampered content, intact
+// envelope) must be quarantined by the service, not served.
+func TestTamperedRecordDigestMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, StoreDir: dir}
+	spec := smallSpec(13)
+
+	srv1, ts1 := newTestServer(t, cfg)
+	first := submitJob(t, ts1, spec)
+	waitState(t, ts1, first.ID, StateDone)
+	ts1.Close()
+	srv1.Close()
+
+	// Rewrite the record through the codec itself: drop a kept edge but
+	// keep the old spanner digest. CRC and structure stay valid.
+	st, err := store.Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := storeFiles(t, dir, ".ftr")
+	if len(files) != 1 {
+		t.Fatalf("store dir holds %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := store.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Kept) == 0 {
+		t.Fatal("record kept no edges; cannot tamper")
+	}
+	rec.Kept = rec.Kept[:len(rec.Kept)-1]
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	srv2, ts2 := newTestServer(t, cfg)
+	sub := submitJob(t, ts2, spec)
+	if sub.Cached || sub.FromStore {
+		t.Fatalf("digest-mismatched record was served: %+v", sub)
+	}
+	waitState(t, ts2, sub.ID, StateDone)
+	if m := getMetrics(t, ts2); m.StoreCorruptTotal != 1 || m.BuildsTotal != 1 {
+		t.Fatalf("store_corrupt_total=%d builds_total=%d, want 1 and 1", m.StoreCorruptTotal, m.BuildsTotal)
+	}
+	if got := storeFiles(t, dir, ".corrupt"); len(got) != 1 {
+		t.Fatalf("quarantined files %v, want exactly one", got)
+	}
+	ts2.Close()
+	srv2.Close()
+}

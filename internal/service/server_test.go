@@ -15,9 +15,19 @@ import (
 	"github.com/ftspanner/ftspanner/internal/graph"
 )
 
+// mustNew builds a Server, failing the test on a config/store error.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -178,7 +188,7 @@ func TestSubmitPollFetchVerify(t *testing.T) {
 	}
 
 	m := getMetrics(t, ts)
-	if m.BuildsRun != 1 || m.CacheMisses != 1 || m.JobsByState[StateDone] != 1 || m.Dijkstras == 0 {
+	if m.BuildsTotal != 1 || m.CacheMisses != 1 || m.JobsByState[StateDone] != 1 || m.Dijkstras == 0 {
 		t.Errorf("unexpected metrics after one build: %+v", m)
 	}
 }
@@ -207,8 +217,8 @@ func TestCacheHitSkipsRecompute(t *testing.T) {
 	}
 
 	m := getMetrics(t, ts)
-	if m.BuildsRun != 1 {
-		t.Errorf("builds_run=%d after a duplicate submission, want 1", m.BuildsRun)
+	if m.BuildsTotal != 1 {
+		t.Errorf("builds_total=%d after a duplicate submission, want 1", m.BuildsTotal)
 	}
 	if m.CacheHits != 1 || m.CacheMisses != 1 || m.CacheEntries != 1 {
 		t.Errorf("cache counters %+v, want one hit, one miss, one entry", m)
@@ -249,7 +259,7 @@ func TestEightConcurrentBuilds(t *testing.T) {
 	if m.MaxConcurrentBuilds != n {
 		t.Errorf("max_concurrent_builds=%d, want %d simultaneous builds", m.MaxConcurrentBuilds, n)
 	}
-	if m.BuildsRun != n || m.JobsByState[StateDone] != n || m.BuildsInFlight != 0 {
+	if m.BuildsTotal != n || m.JobsByState[StateDone] != n || m.BuildsInFlight != 0 {
 		t.Errorf("metrics after %d concurrent builds: %+v", n, m)
 	}
 }

@@ -1,8 +1,10 @@
 // Package service implements ftserve, the HTTP/JSON spanner-build service:
 // clients submit build jobs (input graph inline or by named generator), a
-// bounded worker pool drains a FIFO queue, per-job contexts make running
-// builds cancellable mid-scan, and completed results are served from an LRU
-// cache keyed by (graph digest, stretch, faults, mode, algorithm).
+// bounded worker pool drains weighted priority queues, per-job contexts make
+// running builds cancellable mid-scan, and completed results are served from
+// a two-tier result cache keyed by (graph digest, stretch, faults, mode,
+// algorithm): an in-memory LRU in front of an optional durable on-disk store
+// that survives restarts.
 //
 // Endpoints:
 //
@@ -12,7 +14,7 @@
 //	GET    /v1/jobs/{id}/events   NDJSON progress stream
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	POST   /v1/verify             random-fault check of a completed job
-//	GET    /metrics               queue, cache, and build counters
+//	GET    /metrics               queue, cache, store, and build counters
 //
 // The package is the architectural seam for scaling the repository into a
 // serving system: sharding, batching, and alternative backends all plug in
@@ -26,17 +28,37 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"github.com/ftspanner/ftspanner/internal/store"
 )
 
 // Config sizes a Server. Zero values select the documented defaults.
 type Config struct {
 	// Workers is the size of the build worker pool (default 4).
 	Workers int
-	// QueueDepth bounds the FIFO job queue; submissions beyond it are
-	// rejected with 503 (default 64).
+	// QueueDepth bounds the total queued jobs across every priority class;
+	// submissions beyond it are rejected with 503 (default 64).
 	QueueDepth int
-	// CacheEntries bounds the result LRU cache (default 128).
+	// QueueCaps bounds each priority class's share of the queue separately;
+	// a submission to a full class is rejected with 429 and a Retry-After
+	// header (backpressure the client can act on, unlike the global 503).
+	// Classes absent or <= 0 default to QueueDepth, i.e. no extra bound.
+	// The global QueueDepth check runs first, so a cap only produces 429s
+	// when it is BELOW QueueDepth — a cap at or above it is effectively
+	// unlimited (ftserve rejects such flag values up front).
+	QueueCaps map[Priority]int
+	// CacheEntries bounds the in-memory result LRU cache (default 128).
 	CacheEntries int
+	// StoreDir enables the durable result store: one content-addressed file
+	// per (graph digest, parameters) under this directory, consulted on
+	// in-memory cache misses and written on every completed build, so a
+	// restarted server over the same directory is warm. Empty disables
+	// persistence.
+	StoreDir string
+	// StoreMaxBytes LRU-bounds the store's total on-disk bytes; a background
+	// evictor deletes least-recently-used records over the bound. Zero
+	// selects the default of 256 MiB; negative disables the bound.
+	StoreMaxBytes int64
 	// MaxBodyBytes bounds request bodies, which contain inline graphs
 	// (default 8 MiB).
 	MaxBodyBytes int64
@@ -45,11 +67,15 @@ type Config struct {
 	// ones, and evicted job IDs answer 404. Without it the in-memory job map
 	// grows forever under sustained traffic. Zero selects the default of 15
 	// minutes; negative disables eviction. Results outlive their jobs in the
-	// LRU cache, so an evicted job's spanner is still one resubmission away.
+	// result cache, so an evicted job's spanner is still one resubmission
+	// away.
 	JobRetention time.Duration
 }
 
-const defaultJobRetention = 15 * time.Minute
+const (
+	defaultJobRetention  = 15 * time.Minute
+	defaultStoreMaxBytes = 256 << 20
+)
 
 func (c *Config) applyDefaults() {
 	if c.Workers <= 0 {
@@ -67,6 +93,18 @@ func (c *Config) applyDefaults() {
 	if c.JobRetention == 0 {
 		c.JobRetention = defaultJobRetention
 	}
+	if c.StoreMaxBytes == 0 {
+		c.StoreMaxBytes = defaultStoreMaxBytes
+	}
+	caps := make(map[Priority]int, numClasses)
+	for p := range classes {
+		if n := c.QueueCaps[p]; n > 0 {
+			caps[p] = n
+		} else {
+			caps[p] = c.QueueDepth
+		}
+	}
+	c.QueueCaps = caps
 }
 
 // Server is the ftserve HTTP handler plus its worker pool. Create one with
@@ -75,6 +113,7 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	cache *lruCache
+	store *store.Store // nil when persistence is disabled
 	met   metrics
 
 	// wake carries one token per enqueued job so idle workers notice new
@@ -82,25 +121,35 @@ type Server struct {
 	// worker re-check an empty queue.
 	wake chan struct{}
 
-	mu      sync.Mutex
-	pending []*Job // the FIFO job queue; cancellation removes in place
-	jobs    map[string]*Job
-	active  map[CacheKey]*Job // queued or running, for in-flight dedup
-	nextID  int64
+	mu     sync.Mutex
+	queues jobQueues // pending jobs, one FIFO per priority class
+	jobs   map[string]*Job
+	active map[CacheKey]*Job // queued or running, for in-flight dedup
+	nextID int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
 
-// New returns a Server with cfg's worker pool already running.
-func New(cfg Config) *Server {
+// New returns a Server with cfg's worker pool already running. With
+// Config.StoreDir set it opens (creating if needed) the durable result
+// store first and fails if the directory is unusable.
+func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir, cfg.StoreMaxBytes); err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:    cfg,
 		wake:   make(chan struct{}, cfg.QueueDepth),
 		cache:  newLRU(cfg.CacheEntries),
+		store:  st,
 		jobs:   make(map[string]*Job),
 		active: make(map[CacheKey]*Job),
 		ctx:    ctx,
@@ -115,7 +164,7 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.janitor()
 	}
-	return s
+	return s, nil
 }
 
 // janitor periodically evicts terminal jobs older than JobRetention.
@@ -162,10 +211,15 @@ func (s *Server) sweepExpired(now time.Time) int {
 	return evicted
 }
 
-// Close cancels every in-flight build and waits for the workers to exit.
+// Close cancels every in-flight build, waits for the workers to exit, and
+// releases the durable store. Persisted results stay on disk for the next
+// Server over the same directory.
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -188,15 +242,15 @@ func (s *Server) worker() {
 	}
 }
 
-// dequeue pops the oldest pending job, or nil when the queue is empty.
+// dequeue pops the next pending job under the weighted-fair schedule, or
+// nil when every queue is empty.
 func (s *Server) dequeue() *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.pending) == 0 {
-		return nil
+	job := s.queues.pop()
+	if job != nil {
+		s.met.dequeued[job.class].Add(1)
 	}
-	job := s.pending[0]
-	s.pending = s.pending[1:]
 	return job
 }
 
@@ -239,8 +293,8 @@ func (s *Server) run(job *Job) {
 }
 
 // finish moves a running job to its terminal state, updates the metrics,
-// and caches successful results. Late calls (a build result arriving after
-// cancellation already finished the job) are no-ops.
+// and caches successful results in both tiers. Late calls (a build result
+// arriving after cancellation already finished the job) are no-ops.
 func (s *Server) finish(job *Job, res *buildResult, err error) {
 	job.mu.Lock()
 	if job.state != StateRunning {
@@ -261,7 +315,9 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 
 	// Cache the result BEFORE releasing the dedup key: a duplicate
 	// submission racing this finish must find either the active job or the
-	// cached result, never a gap that triggers a full rebuild.
+	// cached result, never a gap that triggers a full rebuild. The durable
+	// write rides the same window, so once the key is free the result is
+	// also on disk for any future process.
 	switch {
 	case err == nil:
 		s.met.jobsDone.Add(1)
@@ -273,6 +329,7 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 		s.met.specHits.Add(res.stats.SpecHits)
 		s.met.specWaste.Add(res.stats.SpecWaste)
 		s.cache.Put(job.key, res)
+		s.storePut(job.key, res)
 	case errors.Is(err, context.Canceled):
 		s.met.jobsCancelled.Add(1)
 	default:
@@ -291,17 +348,12 @@ func (s *Server) dropActive(job *Job) {
 	s.mu.Unlock()
 }
 
-// unqueue removes a cancelled job from the pending FIFO so it stops
+// unqueue removes a cancelled job from its pending queue so it stops
 // holding a queue slot. A no-op when a worker dequeued it first (the
 // worker's state check skips it).
 func (s *Server) unqueue(job *Job) {
 	s.mu.Lock()
-	for i, p := range s.pending {
-		if p == job {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			break
-		}
-	}
+	s.queues.remove(job)
 	s.mu.Unlock()
 }
 
@@ -309,13 +361,17 @@ func (s *Server) unqueue(job *Job) {
 type submitError struct {
 	status int
 	msg    string
+	// retryAfter > 0 adds a Retry-After header with that many seconds —
+	// set on per-class 429 backpressure.
+	retryAfter int
 }
 
 func (e *submitError) Error() string { return e.msg }
 
 // submit registers a job for the normalized spec: an in-flight duplicate is
-// returned as-is (dedup true), a cached result produces a job born done,
-// and anything else is enqueued for the worker pool.
+// returned as-is (dedup true), a result found in either cache tier produces
+// a job born done, and anything else is enqueued onto its priority class
+// for the worker pool.
 func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 	g, err := materialize(&spec)
 	if err != nil {
@@ -330,26 +386,63 @@ func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 		s.met.dedups.Add(1)
 		return dup, true, nil
 	}
+	res, hit := s.cache.Get(key)
+	fromStore := false
+	if !hit && s.store != nil {
+		// Disk tier. The read does file I/O plus a spanner reconstruction
+		// and digest check, so s.mu is released for its duration (handlers,
+		// other submits, and worker dequeues must not stall behind disk);
+		// on re-acquire the dedup index and memory cache are re-checked, so
+		// a racing identical submission still never triggers a double build.
+		s.mu.Unlock()
+		stored := s.storeGet(key, g)
+		s.mu.Lock()
+		if dup := s.active[key]; dup != nil {
+			s.met.jobsSubmitted.Add(1)
+			s.met.dedups.Add(1)
+			return dup, true, nil
+		}
+		res, hit = s.cache.Get(key)
+		if !hit && stored != nil {
+			s.cache.Put(key, stored)
+			res, hit, fromStore = stored, true, true
+		}
+	}
 	id := fmt.Sprintf("j%d", s.nextID+1)
-	if res, ok := s.cache.Get(key); ok {
+	if hit {
 		job := newJob(id, key, spec, res.input)
 		job.mu.Lock()
 		job.result = res
 		job.cached = true
+		job.fromStore = fromStore
 		job.setStateLocked(StateDone, Event{Scanned: res.stats.EdgesScanned, Kept: len(res.kept)})
 		job.mu.Unlock()
 		s.nextID++
 		s.jobs[id] = job
 		s.met.jobsSubmitted.Add(1)
-		s.met.cacheHits.Add(1)
+		if !fromStore {
+			// Disk-tier hits are counted by the store itself; cache_hits
+			// stays "submissions answered from the in-memory LRU".
+			s.met.cacheHits.Add(1)
+		}
 		return job, false, nil
 	}
-	if len(s.pending) >= s.cfg.QueueDepth {
+	if s.queues.totalLen() >= s.cfg.QueueDepth {
 		return nil, false, &submitError{status: http.StatusServiceUnavailable,
-			msg: fmt.Sprintf("job queue full (%d queued)", len(s.pending))}
+			msg: fmt.Sprintf("job queue full (%d queued)", s.queues.totalLen())}
+	}
+	cls := classOf(spec.Priority)
+	if cap := s.cfg.QueueCaps[cls.Priority()]; len(s.queues.q[cls]) >= cap {
+		s.met.rejected[cls].Add(1)
+		return nil, false, &submitError{
+			status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("priority %q queue full (%d queued, cap %d)",
+				cls.Priority(), len(s.queues.q[cls]), cap),
+			retryAfter: s.retryAfterLocked(cls),
+		}
 	}
 	job = newJob(id, key, spec, g)
-	s.pending = append(s.pending, job)
+	s.queues.push(job)
 	s.nextID++
 	s.jobs[id] = job
 	s.active[key] = job
@@ -360,6 +453,22 @@ func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 	default: // wake already saturated; an awake worker will re-check
 	}
 	return job, false, nil
+}
+
+// retryAfterLocked estimates how long a rejected client should wait before
+// resubmitting to class c: roughly the time for the class's backlog to
+// drain through its weighted share of the pool, clamped to [1s, 60s].
+// Caller holds s.mu.
+func (s *Server) retryAfterLocked(c class) int {
+	share := s.cfg.Workers * classWeights[c] / weightSum
+	if share < 1 {
+		share = 1
+	}
+	sec := 1 + len(s.queues.q[c])/share
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // job looks a job up by ID.

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzStoreCodec hammers Decode with arbitrary bytes and pins the two codec
+// invariants: (1) decoding garbage returns an error wrapping ErrCorrupt and
+// never panics; (2) whatever decodes cleanly survives an encode→decode
+// round trip unchanged (byte-identity is NOT required: varints have
+// non-minimal spellings, so two byte strings may name the same record —
+// record-level identity is the contract). The checked-in seed corpus lives
+// in testdata/fuzz/FuzzStoreCodec.
+func FuzzStoreCodec(f *testing.F) {
+	f.Add(Encode(sampleRecord()))
+	f.Add(Encode(&Record{Key: "k", NumVertices: 1, InputEdges: 1, SpannerDigest: "d", Kept: []int{0}}))
+	f.Add(Encode(&Record{})) // fully zero record
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	trunc := Encode(sampleRecord())
+	f.Add(trunc[:len(trunc)-3])
+	flipped := Encode(sampleRecord())
+	flipped[12] ^= 0xFF // CRC byte
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		rec2, err := Decode(Encode(rec))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded record failed: %v", err)
+		}
+		if !recordsEqual(rec, rec2) {
+			t.Fatalf("decode∘encode∘decode changed the record:\n in  %+v\n out %+v", rec, rec2)
+		}
+	})
+}

@@ -1,0 +1,414 @@
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// fileExt marks live record files; anything else in the directory is
+	// ignored (quarantined files carry corruptExt, in-progress writes tmpExt).
+	fileExt    = ".ftr"
+	corruptExt = ".corrupt"
+	tmpExt     = ".tmp"
+
+	// maxCorruptFiles bounds how many quarantined files are preserved for
+	// inspection; beyond it the oldest are deleted, so persistent corruption
+	// (a failing disk, say) cannot grow the directory unbounded outside the
+	// live byte accounting.
+	maxCorruptFiles = 32
+)
+
+// Store is a durable, content-addressed result store: one file per build
+// key under a single directory, LRU-bounded in total on-disk bytes by a
+// background evictor. Safe for concurrent use; a directory must be owned by
+// at most one open Store at a time (ftserve opens exactly one).
+type Store struct {
+	dir      string
+	maxBytes int64 // <= 0 means unbounded
+
+	mu    sync.Mutex
+	ll    *list.List               // front = most recently used; values are *fileEntry
+	files map[string]*list.Element // base filename -> element
+	bytes int64                    // sum of live file sizes
+	// corruptFiles lists quarantined file names oldest-first, trimmed to
+	// maxCorruptFiles.
+	corruptFiles []string
+
+	hits         atomic.Int64
+	misses       atomic.Int64
+	writes       atomic.Int64
+	writeErrors  atomic.Int64
+	corrupt      atomic.Int64
+	evictions    atomic.Int64
+	evictedBytes atomic.Int64
+
+	kick      chan struct{} // signals the evictor that bytes may exceed maxBytes
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type fileEntry struct {
+	name string
+	size int64
+	// gen is bumped on every replacement Put; Get uses it to avoid
+	// quarantining a file that was rewritten while it read the old bytes.
+	gen int64
+}
+
+// Open creates dir if needed, indexes the records already in it (most
+// recently modified = most recently used, so LRU order survives restarts),
+// deletes temp files left by interrupted writes, and starts the background
+// evictor. maxBytes <= 0 disables the byte bound.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	type scanned struct {
+		fileEntry
+		mtime time.Time
+	}
+	var found []scanned
+	type corruptScanned struct {
+		name  string
+		mtime time.Time
+	}
+	var corruptFound []corruptScanned
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.Contains(name, tmpExt) {
+			// Leftover from a write interrupted by a crash; the rename never
+			// happened, so the record it would have replaced is still intact.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, corruptExt) {
+			if info, err := de.Info(); err == nil {
+				corruptFound = append(corruptFound, corruptScanned{name, info.ModTime()})
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, fileExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{fileEntry{name: name, size: info.Size()}, info.ModTime()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	sort.Slice(corruptFound, func(i, j int) bool { return corruptFound[i].mtime.Before(corruptFound[j].mtime) })
+
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		files:    make(map[string]*list.Element, len(found)),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	for i := range found {
+		e := found[i].fileEntry
+		s.files[e.name] = s.ll.PushFront(&e) // ascending mtime: newest ends up at the front
+		s.bytes += e.size
+	}
+	// Earlier quarantines carry over into the retention window (and are
+	// trimmed to it right away).
+	for _, c := range corruptFound {
+		s.noteCorruptLocked(c.name)
+	}
+	s.wg.Add(1)
+	go s.evictor()
+	s.signalEvictor() // the indexed backlog may already exceed the bound
+	return s, nil
+}
+
+// Close stops the background evictor; it is idempotent. Records stay on
+// disk.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName maps a build key to its record's base filename: the hex SHA-256
+// of the key, so arbitrary key strings become safe fixed-length names.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + fileExt
+}
+
+// Get returns the stored record for key, or ok=false on a miss. A file that
+// fails to decode, or decodes to a different key (hash collision or a
+// misplaced file), is quarantined and reported as a miss — corrupt data is
+// never served.
+//
+// The disk read happens outside the store lock so concurrent gets, puts,
+// metrics, and eviction do not serialize behind file I/O. A record
+// replaced by Put while being read is harmless either way: records are
+// fully determined by their key, so any valid bytes under this name
+// decode to the same result, and a failed read only quarantines the file
+// if it was NOT rewritten in between (generation check).
+func (s *Store) Get(key string) (*Record, bool) {
+	name := fileName(key)
+	path := filepath.Join(s.dir, name)
+	s.mu.Lock()
+	el, ok := s.files[name]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	gen := el.Value.(*fileEntry).gen
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(path)
+	var rec *Record
+	if err == nil {
+		rec, err = Decode(data)
+		if err == nil && rec.Key != key {
+			err = corruptf("record key %q does not match requested key", rec.Key)
+		}
+	}
+
+	s.mu.Lock()
+	el, ok = s.files[name]
+	if !ok { // evicted or quarantined while we read
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	if err != nil {
+		if el.Value.(*fileEntry).gen == gen {
+			if os.IsNotExist(err) {
+				// Vanished under us (external deletion): nothing to rename.
+				s.dropLocked(name, el)
+			} else {
+				s.quarantineLocked(name, el)
+			}
+		}
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	s.mu.Unlock()
+	// Best-effort mtime bump so the on-disk LRU order survives a restart.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	s.hits.Add(1)
+	return rec, true
+}
+
+// Put durably stores rec, replacing any previous record for its key: the
+// encoding is written to a temp file in the same directory, synced, and
+// renamed over the final name, so readers and crash recovery only ever see
+// a complete record or none.
+func (s *Store) Put(rec *Record) error {
+	data := Encode(rec)
+	name := fileName(rec.Key)
+	final := filepath.Join(s.dir, name)
+
+	tmp, err := os.CreateTemp(s.dir, name+tmpExt+"*")
+	if err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	} else {
+		_ = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+
+	size := int64(len(data))
+	s.mu.Lock()
+	// The rename happens under s.mu so it is atomic with the index update:
+	// otherwise a concurrent evictor or quarantine acting on the stale
+	// entry for this name could delete the fresh file before it is
+	// re-indexed, silently losing the write.
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		s.mu.Unlock()
+		_ = os.Remove(tmp.Name())
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if el, ok := s.files[name]; ok {
+		e := el.Value.(*fileEntry)
+		s.bytes += size - e.size
+		e.size = size
+		e.gen++
+		s.ll.MoveToFront(el)
+	} else {
+		s.files[name] = s.ll.PushFront(&fileEntry{name: name, size: size})
+		s.bytes += size
+	}
+	over := s.maxBytes > 0 && s.bytes > s.maxBytes
+	s.mu.Unlock()
+	// Fsync the directory so the rename itself survives power loss, not
+	// just process death — without it the record's directory entry may
+	// still be unflushed when Put returns. Best-effort: a failure leaves
+	// the record readable in this process and merely weakens crash
+	// durability, like every pre-rename state.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	s.writes.Add(1)
+	if over {
+		s.signalEvictor()
+	}
+	return nil
+}
+
+// Quarantine marks key's record as corrupt on the caller's behalf — used
+// when an integrity check above the codec (e.g. a reconstructed-spanner
+// digest mismatch) rejects a record that decoded cleanly. The preceding
+// Get counted a hit for a record that was not actually servable, so the
+// hit is reclassified as a miss.
+func (s *Store) Quarantine(key string) {
+	name := fileName(key)
+	s.mu.Lock()
+	if el, ok := s.files[name]; ok {
+		s.quarantineLocked(name, el)
+	}
+	s.mu.Unlock()
+	s.hits.Add(-1)
+	s.misses.Add(1)
+}
+
+// quarantineLocked renames the file to name+".corrupt" (preserving it for
+// inspection, out of the live set, bounded by maxCorruptFiles) and drops
+// it from the index. Caller holds s.mu.
+func (s *Store) quarantineLocked(name string, el *list.Element) {
+	path := filepath.Join(s.dir, name)
+	if err := os.Rename(path, path+corruptExt); err != nil {
+		_ = os.Remove(path) // rename failed; at least stop serving it
+	} else {
+		s.noteCorruptLocked(name + corruptExt)
+	}
+	s.dropLocked(name, el)
+	s.corrupt.Add(1)
+}
+
+// noteCorruptLocked records a quarantined file name and deletes the
+// oldest quarantined files beyond the retention cap. Caller holds s.mu.
+func (s *Store) noteCorruptLocked(name string) {
+	for _, existing := range s.corruptFiles {
+		if existing == name {
+			return // re-quarantine of the same slot overwrote the old file
+		}
+	}
+	s.corruptFiles = append(s.corruptFiles, name)
+	for len(s.corruptFiles) > maxCorruptFiles {
+		_ = os.Remove(filepath.Join(s.dir, s.corruptFiles[0]))
+		s.corruptFiles = s.corruptFiles[1:]
+	}
+}
+
+// dropLocked removes an index entry without touching the file. Caller holds
+// s.mu.
+func (s *Store) dropLocked(name string, el *list.Element) {
+	s.ll.Remove(el)
+	delete(s.files, name)
+	s.bytes -= el.Value.(*fileEntry).size
+}
+
+func (s *Store) signalEvictor() {
+	select {
+	case s.kick <- struct{}{}:
+	default: // a sweep is already pending
+	}
+}
+
+// evictor is the background goroutine that trims the store back under
+// maxBytes after writes push it over.
+func (s *Store) evictor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			s.evictOnce()
+		}
+	}
+}
+
+// evictOnce removes least-recently-used records until the total is back
+// under the byte bound, returning how many files it deleted.
+func (s *Store) evictOnce() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for s.maxBytes > 0 && s.bytes > s.maxBytes && s.ll.Len() > 0 {
+		el := s.ll.Back()
+		e := el.Value.(*fileEntry)
+		_ = os.Remove(filepath.Join(s.dir, e.name))
+		s.dropLocked(e.name, el)
+		s.evictions.Add(1)
+		s.evictedBytes.Add(e.size)
+		evicted++
+	}
+	return evicted
+}
+
+// Metrics is a point-in-time snapshot of the store's counters and gauges.
+type Metrics struct {
+	Entries      int   `json:"entries"`
+	Bytes        int64 `json:"bytes"`
+	MaxBytes     int64 `json:"max_bytes"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Writes       int64 `json:"writes"`
+	WriteErrors  int64 `json:"write_errors"`
+	CorruptTotal int64 `json:"corrupt_total"`
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+}
+
+// Snapshot returns the store's current metrics.
+func (s *Store) Snapshot() Metrics {
+	s.mu.Lock()
+	entries, bytes := s.ll.Len(), s.bytes
+	s.mu.Unlock()
+	return Metrics{
+		Entries:      entries,
+		Bytes:        bytes,
+		MaxBytes:     s.maxBytes,
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Writes:       s.writes.Load(),
+		WriteErrors:  s.writeErrors.Load(),
+		CorruptTotal: s.corrupt.Load(),
+		Evictions:    s.evictions.Load(),
+		EvictedBytes: s.evictedBytes.Load(),
+	}
+}

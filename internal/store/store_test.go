@@ -1,0 +1,473 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// dirFiles lists the base names in dir with the given suffix.
+func dirFiles(t *testing.T, dir, suffix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), suffix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// recordPath returns the single live record file for key.
+func recordPath(t *testing.T, dir, key string) string {
+	t.Helper()
+	p := filepath.Join(dir, fileName(key))
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("record file for %q: %v", key, err)
+	}
+	return p
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(rec.Key)
+	if !ok {
+		t.Fatal("stored record missed")
+	}
+	if !recordsEqual(rec, got) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", rec, got)
+	}
+	// The write was atomic: exactly one live file, no temp residue.
+	if tmps := dirFiles(t, dir, ""); len(tmps) != 1 {
+		t.Fatalf("directory holds %v, want exactly one record file", tmps)
+	}
+	if m := s.Snapshot(); m.Writes != 1 || m.Hits != 1 || m.Entries != 1 || m.Bytes <= 0 {
+		t.Fatalf("metrics %+v after one put+get", m)
+	}
+	if _, ok := s.Get("no-such-key"); ok {
+		t.Fatal("made-up key hit")
+	}
+	if m := s.Snapshot(); m.Misses != 1 {
+		t.Fatalf("misses=%d after a made-up key, want 1", m.Misses)
+	}
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), -1)
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := sampleRecord()
+	rec2.Kept = []int{1, 2}
+	rec2.SpannerDigest = "other"
+	if err := s.Put(rec2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(rec.Key)
+	if !ok || !recordsEqual(rec2, got) {
+		t.Fatalf("after overwrite got %+v ok=%v, want the second record", got, ok)
+	}
+	if m := s.Snapshot(); m.Entries != 1 {
+		t.Fatalf("entries=%d after overwriting the same key, want 1", m.Entries)
+	}
+}
+
+// TestReopenWarm is the store-level restart property: a second Store over
+// the same directory serves the first one's writes.
+func TestReopenWarm(t *testing.T) {
+	dir := t.TempDir()
+	rec := sampleRecord()
+	s1 := mustOpen(t, dir, -1)
+	if err := s1.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2 := mustOpen(t, dir, -1)
+	if m := s2.Snapshot(); m.Entries != 1 || m.Bytes <= 0 {
+		t.Fatalf("reopened store sees %+v, want the persisted entry", m)
+	}
+	got, ok := s2.Get(rec.Key)
+	if !ok || !recordsEqual(rec, got) {
+		t.Fatalf("reopened store got %+v ok=%v", got, ok)
+	}
+}
+
+// TestOpenCleansInterruptedWrites: a crash between CreateTemp and rename
+// leaves a .tmp file; Open must delete it and not index it.
+func TestOpenCleansInterruptedWrites(t *testing.T) {
+	dir := t.TempDir()
+	leftover := filepath.Join(dir, fileName("k")+tmpExt+"123456")
+	if err := os.WriteFile(leftover, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, -1)
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatalf("interrupted temp file survived Open (stat err %v)", err)
+	}
+	if m := s.Snapshot(); m.Entries != 0 {
+		t.Fatalf("temp file was indexed: %+v", m)
+	}
+}
+
+// corruptionCase mutates a valid on-disk record into one specific corrupt
+// shape.
+type corruptionCase struct {
+	name   string
+	mutate func(t *testing.T, path string)
+}
+
+func corruptionCases() []corruptionCase {
+	return []corruptionCase{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped CRC byte", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[12] ^= 0xFF
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong codec version", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[4], data[5] = 0xFE, 0xCA
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped payload byte", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+}
+
+// TestCorruptRecordsQuarantined: every corruption shape must be detected on
+// Get, renamed to .corrupt (never served, preserved for inspection),
+// counted, and replaceable by a fresh Put.
+func TestCorruptRecordsQuarantined(t *testing.T) {
+	for _, tc := range corruptionCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, -1)
+			rec := sampleRecord()
+			if err := s.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, recordPath(t, dir, rec.Key))
+
+			if _, ok := s.Get(rec.Key); ok {
+				t.Fatal("corrupt record was served")
+			}
+			if m := s.Snapshot(); m.CorruptTotal != 1 || m.Entries != 0 {
+				t.Fatalf("metrics %+v after corrupt get, want corrupt_total=1 entries=0", m)
+			}
+			if got := dirFiles(t, dir, corruptExt); len(got) != 1 {
+				t.Fatalf("quarantined files %v, want exactly one %s", got, corruptExt)
+			}
+			if got := dirFiles(t, dir, fileExt); len(got) != 0 {
+				t.Fatalf("live files %v remain after quarantine", got)
+			}
+			// The slot is rebuildable: a fresh Put serves again.
+			if err := s.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(rec.Key); !ok || !recordsEqual(rec, got) {
+				t.Fatalf("rebuilt record got %+v ok=%v", got, ok)
+			}
+		})
+	}
+}
+
+// TestCorruptRecordsQuarantinedAcrossReopen: corruption planted while the
+// store is closed (the restart scenario) is caught by the next process.
+func TestCorruptRecordsQuarantinedAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	rec := sampleRecord()
+	s1 := mustOpen(t, dir, -1)
+	if err := s1.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	corruptionCases()[0].mutate(t, recordPath(t, dir, rec.Key))
+
+	s2 := mustOpen(t, dir, -1)
+	if _, ok := s2.Get(rec.Key); ok {
+		t.Fatal("corrupt record served after reopen")
+	}
+	if m := s2.Snapshot(); m.CorruptTotal != 1 {
+		t.Fatalf("corrupt_total=%d, want 1", m.CorruptTotal)
+	}
+}
+
+// TestKeyMismatchQuarantined: a file whose embedded key differs from the
+// one its name hashes to (misplaced or maliciously copied) is never served.
+func TestKeyMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the valid record into the slot of a different key.
+	data, err := os.ReadFile(recordPath(t, dir, rec.Key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fileName("other-key")), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, -1)
+	if _, ok := s2.Get("other-key"); ok {
+		t.Fatal("record with mismatched embedded key was served")
+	}
+	if m := s2.Snapshot(); m.CorruptTotal != 1 {
+		t.Fatalf("corrupt_total=%d, want 1", m.CorruptTotal)
+	}
+	// The original key is untouched.
+	if _, ok := s2.Get(rec.Key); !ok {
+		t.Fatal("original record lost")
+	}
+}
+
+// TestQuarantineReclassifiesHit: when the caller rejects a cleanly decoded
+// record (service-level digest mismatch), Quarantine must both remove the
+// file and un-count the Get's hit — the submission was not served from
+// disk.
+func TestQuarantineReclassifiesHit(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(rec.Key); !ok {
+		t.Fatal("stored record missed")
+	}
+	s.Quarantine(rec.Key)
+	m := s.Snapshot()
+	if m.Hits != 0 || m.Misses != 1 || m.CorruptTotal != 1 || m.Entries != 0 {
+		t.Fatalf("metrics %+v after caller-side quarantine, want hits=0 misses=1 corrupt=1 entries=0", m)
+	}
+	if got := dirFiles(t, dir, corruptExt); len(got) != 1 {
+		t.Fatalf("quarantined files %v, want one", got)
+	}
+}
+
+// TestCorruptRetentionCap: quarantined files are preserved for inspection
+// only up to maxCorruptFiles; persistent corruption across many keys must
+// not grow the directory unbounded.
+func TestCorruptRetentionCap(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	total := maxCorruptFiles + 8
+	for i := 0; i < total; i++ {
+		rec := sampleRecord()
+		rec.Key = fmt.Sprintf("k%d", i)
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		p := recordPath(t, dir, rec.Key)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[12] ^= 0xFF
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(rec.Key); ok {
+			t.Fatalf("corrupt record %d served", i)
+		}
+	}
+	if m := s.Snapshot(); m.CorruptTotal != int64(total) {
+		t.Fatalf("corrupt_total=%d, want %d", m.CorruptTotal, total)
+	}
+	if got := dirFiles(t, dir, corruptExt); len(got) != maxCorruptFiles {
+		t.Fatalf("%d quarantined files on disk, want the cap of %d", len(got), maxCorruptFiles)
+	}
+	s.Close()
+
+	// The retention window carries across a restart: pre-existing .corrupt
+	// files are indexed (and stay trimmed) by the next Open.
+	s2 := mustOpen(t, dir, -1)
+	rec := sampleRecord()
+	rec.Key = "fresh"
+	if err := s2.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	p := recordPath(t, dir, rec.Key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2.Get(rec.Key)
+	if got := dirFiles(t, dir, corruptExt); len(got) != maxCorruptFiles {
+		t.Fatalf("%d quarantined files after reopen+quarantine, want still %d", len(got), maxCorruptFiles)
+	}
+}
+
+// waitCondition polls until cond() or the deadline.
+func waitCondition(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestByteBoundEvictsLRU: the background evictor trims least-recently-used
+// records once writes push the total over the bound, sparing recently
+// used ones.
+func TestByteBoundEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	one := Encode(sampleRecord())
+	// Room for about three records.
+	s := mustOpen(t, dir, int64(len(one))*3+int64(len(one))/2)
+
+	keys := []string{"a", "b", "c", "d", "e"}
+	for _, k := range keys {
+		rec := sampleRecord()
+		rec.Key = k
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		// Touch "a" after every write so it stays most-recently-used.
+		if k != "a" {
+			if _, ok := s.Get("a"); !ok && k < "d" {
+				t.Fatalf("%q evicted while under the bound", "a")
+			}
+		}
+	}
+	waitCondition(t, "evictor to trim under the byte bound", func() bool {
+		m := s.Snapshot()
+		return m.Bytes <= m.MaxBytes
+	})
+	m := s.Snapshot()
+	if m.Evictions == 0 || m.EvictedBytes == 0 {
+		t.Fatalf("metrics %+v, want evictions after exceeding the bound", m)
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Error("most-recently-used record evicted")
+	}
+	if _, ok := s.Get("e"); !ok {
+		t.Error("newest record evicted")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("least-recently-used record survived past the bound")
+	}
+}
+
+// TestLRUOrderSurvivesRestart: eviction order is derived from file mtimes
+// at Open, so the on-disk LRU is meaningful across restarts.
+func TestLRUOrderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	one := Encode(sampleRecord())
+	s1 := mustOpen(t, dir, -1)
+	for _, k := range []string{"old", "mid", "new"} {
+		rec := sampleRecord()
+		rec.Key = k
+		if err := s1.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1.Close()
+	// Pin unambiguous mtimes (writes can land within one clock tick).
+	base := time.Now().Add(-time.Hour)
+	for i, k := range []string{"old", "mid", "new"} {
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, fileName(k)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Capacity for one record: the two stale ones must go, newest stays.
+	s2 := mustOpen(t, dir, int64(len(one))+2)
+	waitCondition(t, "reopened evictor to trim the backlog", func() bool {
+		return s2.Snapshot().Entries == 1
+	})
+	if _, ok := s2.Get("new"); !ok {
+		t.Error("most recent record evicted on reopen")
+	}
+	if _, ok := s2.Get("old"); ok {
+		t.Error("stalest record survived the reopen trim")
+	}
+}
+
+// TestConcurrentPutGet shakes the store under parallel access; run with
+// -race this doubles as the locking check.
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				rec := sampleRecord()
+				rec.Key = string(rune('a' + (i+w)%7))
+				if err := s.Put(rec); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Get(rec.Key)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if m := s.Snapshot(); m.Writes != 200 || m.CorruptTotal != 0 {
+		t.Fatalf("metrics %+v after concurrent traffic", m)
+	}
+}

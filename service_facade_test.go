@@ -14,7 +14,10 @@ import (
 // TestServerFacade drives the re-exported HTTP service end to end through
 // the public facade only: build a job via the API and fetch its status.
 func TestServerFacade(t *testing.T) {
-	srv := ftspanner.NewServer(ftspanner.ServerConfig{Workers: 2})
+	srv, err := ftspanner.NewServer(ftspanner.ServerConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
