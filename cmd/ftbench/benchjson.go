@@ -26,11 +26,23 @@ type componentBench struct {
 	OracleCalls   int64 `json:"oracle_calls,omitempty"`
 	WitnessHits   int64 `json:"witness_hits,omitempty"`
 	WitnessMisses int64 `json:"witness_misses,omitempty"`
-	KeptEdges     int   `json:"kept_edges,omitempty"`
-	// Speculation instrumentation (Parallelism > 1 cases).
-	SpecBatches int64 `json:"spec_batches,omitempty"`
-	SpecHits    int64 `json:"spec_hits,omitempty"`
-	SpecWaste   int64 `json:"spec_waste,omitempty"`
+	// WitnessHitRate is hits/(hits+misses); WitnessSeed* break out the
+	// structure-aware cache's seed trials (hits included in WitnessHits).
+	WitnessHitRate   float64 `json:"witness_hit_rate,omitempty"`
+	WitnessSeedTries int64   `json:"witness_seed_tries,omitempty"`
+	WitnessSeedHits  int64   `json:"witness_seed_hits,omitempty"`
+	KeptEdges        int     `json:"kept_edges,omitempty"`
+	// Speculation instrumentation (Parallelism > 1 cases): spec_hits +
+	// spec_waste == spec_queries; rounds/requeries account how invalidated
+	// answers were resolved; pipeline_depth is the effective depth.
+	SpecBatches   int64   `json:"spec_batches,omitempty"`
+	SpecQueries   int64   `json:"spec_queries,omitempty"`
+	SpecHits      int64   `json:"spec_hits,omitempty"`
+	SpecWaste     int64   `json:"spec_waste,omitempty"`
+	SpecRounds    int64   `json:"spec_rounds,omitempty"`
+	SpecRequeries int64   `json:"spec_requeries,omitempty"`
+	SpecHitRate   float64 `json:"spec_hit_rate,omitempty"`
+	PipelineDepth int     `json:"pipeline_depth,omitempty"`
 	// SpannerDigest is the built spanner's content hash: parallel and
 	// sequential runs of the same workload must record the same digest (the
 	// determinism guarantee, checked at generation time).
@@ -67,8 +79,9 @@ type buildCase struct {
 	// levels > 0 quantizes weights to {1..levels} (same-weight batches for
 	// the speculative builder); 0 keeps the generator's unit weights.
 	levels int
-	// parallelism is core.Options.Parallelism for this case.
+	// parallelism/pipeline are core.Options.{Parallelism,Pipeline}.
 	parallelism int
+	pipeline    int
 	// baseline names an earlier case to compute a speedup against.
 	baseline string
 }
@@ -81,8 +94,29 @@ var buildCases = []buildCase{
 	// The parallel-build large fixture: quantized weights give ~170-edge
 	// same-weight batches, the regime the speculative scan was built for.
 	{name: "LargeVFTf2Seq", mode: ftspanner.VertexFaults, n: 150, m: 2000, seed: 7, stretch: 3, faults: 2, levels: 12},
-	{name: "LargeVFTf2Par4", mode: ftspanner.VertexFaults, n: 150, m: 2000, seed: 7, stretch: 3, faults: 2, levels: 12,
-		parallelism: 4, baseline: "LargeVFTf2Seq"},
+}
+
+// parallelCases derives the large-fixture parallel cases from the
+// -parallelism/-pipeline flags: depth 1 (PR3-style barrier between
+// speculate and commit) and the pipelined depth, both against the
+// sequential baseline. Default flags reproduce the recorded trajectory
+// names (LargeVFTf2Par4, LargeVFTf2Par4Pipe4).
+func parallelCases(parallelism, pipeline int) []buildCase {
+	var seq buildCase
+	for _, c := range buildCases {
+		if c.name == "LargeVFTf2Seq" {
+			seq = c
+		}
+	}
+	par := seq
+	par.name = fmt.Sprintf("LargeVFTf2Par%d", parallelism)
+	par.parallelism = parallelism
+	par.pipeline = 1
+	par.baseline = seq.name
+	pipe := par
+	pipe.name = fmt.Sprintf("LargeVFTf2Par%dPipe%d", parallelism, pipeline)
+	pipe.pipeline = pipeline
+	return []buildCase{par, pipe}
 }
 
 // caseGraph materializes a case's input graph.
@@ -98,23 +132,26 @@ func caseGraph(c buildCase) (*ftspanner.Graph, error) {
 }
 
 // runBenchJSON measures the component benchmarks and writes the JSON report
-// to path ("-" for stdout).
-func runBenchJSON(path string, out io.Writer) error {
+// to path ("-" for stdout). parallelism and pipeline parameterize the large
+// fixture's parallel cases.
+func runBenchJSON(path string, out io.Writer, parallelism, pipeline int) error {
+	cases := append(append([]buildCase{}, buildCases...), parallelCases(parallelism, pipeline)...)
 	report := benchReport{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPUs:       runtime.GOMAXPROCS(0),
-		Benchmarks: make([]componentBench, 0, len(buildCases)+1),
+		Benchmarks: make([]componentBench, 0, len(cases)+1),
 	}
 
 	digests := make(map[string]string) // case name -> spanner digest
-	for _, c := range buildCases {
+	for _, c := range cases {
 		g, err := caseGraph(c)
 		if err != nil {
 			return err
 		}
-		opts := ftspanner.Options{Stretch: c.stretch, Faults: c.faults, Mode: c.mode, Parallelism: c.parallelism}
+		opts := ftspanner.Options{Stretch: c.stretch, Faults: c.faults, Mode: c.mode,
+			Parallelism: c.parallelism, Pipeline: c.pipeline}
 
 		// One instrumented run for the counters the testing harness cannot
 		// see (Dijkstras, witness cache traffic, output size)...
@@ -132,19 +169,27 @@ func runBenchJSON(path string, out io.Writer) error {
 			}
 		})
 		entry := componentBench{
-			Name:          c.name,
-			NsPerOp:       float64(br.NsPerOp()),
-			AllocsPerOp:   br.AllocsPerOp(),
-			BytesPerOp:    br.AllocedBytesPerOp(),
-			Dijkstras:     res.Stats.Dijkstras,
-			OracleCalls:   res.Stats.OracleCalls,
-			WitnessHits:   res.Stats.WitnessHits,
-			WitnessMisses: res.Stats.WitnessMisses,
-			KeptEdges:     len(res.Kept),
-			SpecBatches:   res.Stats.SpecBatches,
-			SpecHits:      res.Stats.SpecHits,
-			SpecWaste:     res.Stats.SpecWaste,
-			SpannerDigest: res.Spanner.Digest(),
+			Name:             c.name,
+			NsPerOp:          float64(br.NsPerOp()),
+			AllocsPerOp:      br.AllocsPerOp(),
+			BytesPerOp:       br.AllocedBytesPerOp(),
+			Dijkstras:        res.Stats.Dijkstras,
+			OracleCalls:      res.Stats.OracleCalls,
+			WitnessHits:      res.Stats.WitnessHits,
+			WitnessMisses:    res.Stats.WitnessMisses,
+			WitnessHitRate:   res.Stats.WitnessHitRate(),
+			WitnessSeedTries: res.Stats.WitnessSeedTries,
+			WitnessSeedHits:  res.Stats.WitnessSeedHits,
+			KeptEdges:        len(res.Kept),
+			SpecBatches:      res.Stats.SpecBatches,
+			SpecQueries:      res.Stats.SpecQueries,
+			SpecHits:         res.Stats.SpecHits,
+			SpecWaste:        res.Stats.SpecWaste,
+			SpecRounds:       res.Stats.SpecRounds,
+			SpecRequeries:    res.Stats.SpecRequeries,
+			SpecHitRate:      res.Stats.SpecHitRate(),
+			PipelineDepth:    res.Stats.PipelineDepth,
+			SpannerDigest:    res.Spanner.Digest(),
 		}
 		digests[c.name] = entry.SpannerDigest
 		if c.baseline != "" {

@@ -35,20 +35,28 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
 	var (
-		runIDs    = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		quick     = fs.Bool("quick", false, "reduced parameter grids")
-		seed      = fs.Int64("seed", 42, "random seed")
-		list      = fs.Bool("list", false, "list experiments and exit")
-		csvDir    = fs.String("csv", "", "directory to export tables as CSV")
-		parallel  = fs.Bool("parallel", false, "run experiments concurrently (reports still print in order)")
-		benchjson = fs.String("benchjson", "", "run the component benchmarks and write a JSON report to this path (- for stdout)")
+		runIDs      = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick       = fs.Bool("quick", false, "reduced parameter grids")
+		seed        = fs.Int64("seed", 42, "random seed")
+		list        = fs.Bool("list", false, "list experiments and exit")
+		csvDir      = fs.String("csv", "", "directory to export tables as CSV")
+		parallel    = fs.Bool("parallel", false, "run experiments concurrently (reports still print in order)")
+		benchjson   = fs.String("benchjson", "", "run the component benchmarks and write a JSON report to this path (- for stdout)")
+		parallelism = fs.Int("parallelism", 4, "worker count for the -benchjson parallel build cases")
+		pipeline    = fs.Int("pipeline", 4, "pipeline depth for the -benchjson pipelined build case")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *benchjson != "" {
-		return runBenchJSON(*benchjson, out)
+		if *parallelism < 2 {
+			return fmt.Errorf("-parallelism must be >= 2, got %d", *parallelism)
+		}
+		if *pipeline < 1 {
+			return fmt.Errorf("-pipeline must be >= 1, got %d", *pipeline)
+		}
+		return runBenchJSON(*benchjson, out, *parallelism, *pipeline)
 	}
 
 	if *list {

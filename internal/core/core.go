@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/ftspanner/ftspanner/internal/bitset"
@@ -51,6 +52,15 @@ type Options struct {
 	// Stats (work counters, witnesses found) may differ. GreedyConservative
 	// ignores this field.
 	Parallelism int
+	// Pipeline bounds how many speculative batches may be in flight at once
+	// (Parallelism > 1 only): while the scan goroutine validates and commits
+	// batch i, the workers already speculate on batches i+1..i+Pipeline-1
+	// against their own snapshots. 0 selects the default depth
+	// (defaultPipelineDepth); 1 disables the overlap — each batch fully
+	// speculates, then commits, before the next one starts. The kept-edge
+	// set is identical at every depth; deeper pipelines trade staler
+	// snapshots (more revalidation, more SpecWaste) for less commit-stall.
+	Pipeline int
 }
 
 // Stats captures instrumentation of a run.
@@ -84,18 +94,44 @@ type Stats struct {
 	// an unchanged snapshot, and witnesses salvaged by one-Dijkstra
 	// revalidation.
 	SpecHits int64
-	// SpecWaste counts batch edges whose speculative answer was invalidated
-	// by an earlier commit in the same batch and had to be re-queried
-	// sequentially — the price of speculation.
+	// SpecWaste counts speculative answers that were invalidated by an
+	// earlier commit and discarded — each such edge re-enters a
+	// re-speculation round (or a live re-query when it is the round's sole
+	// straggler). The price of speculation: SpecHits + SpecWaste ==
+	// SpecQueries always.
 	SpecWaste int64
+	// SpecRounds counts re-speculation rounds: parallel re-query passes over
+	// a batch's invalidated edges against a fresh snapshot (the all-equal-
+	// weight worst case resolves through these instead of a sequential
+	// fallback).
+	SpecRounds int64
+	// SpecRequeries counts invalidated edges resolved by a single live
+	// sequential re-query because they were the only straggler left — a
+	// snapshot plus worker dispatch would cost more than the one query.
+	SpecRequeries int64
+	// PipelineDepth is the effective Options.Pipeline the run used (0 for
+	// sequential scans).
+	PipelineDepth int
+	// WitnessSeedTries/WitnessSeedHits count the oracle's structural seed
+	// trials (singleton fault candidates read off the current path's
+	// structure) and the queries they answered; seed hits are a subset of
+	// WitnessHits.
+	WitnessSeedTries int64
+	WitnessSeedHits  int64
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 }
 
-// SpecHitRate returns SpecHits/(SpecHits+SpecWaste), or 0 when no edges
-// went through the speculative path.
+// SpecHitRate returns the fraction of speculative-path edges whose final
+// decision came from a speculative (snapshot) answer rather than a live
+// sequential re-query: SpecHits/(SpecHits+SpecRequeries), or 0 when no
+// edges went through the speculative path. Since every speculative-path
+// edge is decided exactly once, this is the parallelizable fraction of the
+// scan — the number that turns into wall-clock speedup on multi-core hosts.
+// Per-QUERY efficiency (answers used vs discarded across re-speculation
+// rounds) is SpecHits/SpecQueries, reconstructible from the counters.
 func (s Stats) SpecHitRate() float64 {
-	if total := s.SpecHits + s.SpecWaste; total > 0 {
+	if total := s.SpecHits + s.SpecRequeries; total > 0 {
 		return float64(s.SpecHits) / float64(total)
 	}
 	return 0
@@ -153,6 +189,9 @@ func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Parallelism < 0 {
 		return nil, fmt.Errorf("core: parallelism must be >= 0, got %d", opts.Parallelism)
 	}
+	if opts.Pipeline < 0 || opts.Pipeline > MaxPipeline {
+		return nil, fmt.Errorf("core: pipeline must be in [0,%d], got %d", MaxPipeline, opts.Pipeline)
+	}
 
 	start := time.Now()
 	h := graph.New(g.NumVertices())
@@ -191,16 +230,20 @@ func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Fold the per-goroutine oracle counters into the run's Stats. The scan
+	// has fully torn down its worker pool and re-speculation rounds by now
+	// (scanParallel joins every goroutine before returning, on success and
+	// error alike), so every counter below is quiescent: each oracle is read
+	// exactly once, after its last query — no lost updates, no double
+	// counting of re-speculated batches.
 	res := b.res
-	res.Stats.OracleCalls = oracle.Calls()
-	res.Stats.Dijkstras = oracle.Dijkstras()
-	res.Stats.WitnessHits = oracle.WitnessHits()
-	res.Stats.WitnessMisses = oracle.WitnessMisses()
-	for _, w := range b.workers {
-		res.Stats.OracleCalls += w.Calls()
-		res.Stats.Dijkstras += w.Dijkstras()
-		res.Stats.WitnessHits += w.WitnessHits()
-		res.Stats.WitnessMisses += w.WitnessMisses()
+	for _, o := range append(append([]*fault.Oracle{b.live}, b.workers...), b.rounders...) {
+		res.Stats.OracleCalls += o.Calls()
+		res.Stats.Dijkstras += o.Dijkstras()
+		res.Stats.WitnessHits += o.WitnessHits()
+		res.Stats.WitnessMisses += o.WitnessMisses()
+		res.Stats.WitnessSeedTries += o.WitnessSeedTries()
+		res.Stats.WitnessSeedHits += o.WitnessSeedHits()
 	}
 	res.Stats.Duration = time.Since(start)
 	return res, nil
@@ -220,9 +263,22 @@ type builder struct {
 	hToInput   []int // spanner edge ID -> input edge ID
 
 	// workers are the per-goroutine speculation oracles (Parallelism > 1),
-	// kept across batches and re-aimed at each batch's snapshot; their
-	// counters fold into Stats at the end of the run.
-	workers []*fault.Oracle
+	// one per pipeline worker, re-aimed at each batch's snapshot; rounders
+	// are their re-speculation-round counterparts, kept separate because
+	// rounds run while the pipeline workers are busy with future batches.
+	// Both sets' counters fold into Stats at the end of the run.
+	workers  []*fault.Oracle
+	rounders []*fault.Oracle
+
+	// Pipeline plumbing (see parallel.go): per-worker dispatch channels, an
+	// abort flag that drains queued batches fast on error, and free lists
+	// recycling snapshots, in-flight descriptors, and round scratch.
+	specChans  []chan *inflight
+	specAbort  atomic.Bool
+	freeSnaps  []*graph.Graph
+	freeFl     []*inflight
+	pendingBuf []int
+	roundRes   []specResult
 }
 
 func (b *builder) scanSequential(edges []graph.Edge) error {

@@ -1,48 +1,81 @@
-// Speculative edge-batch parallelism for the fault-tolerant greedy.
+// Pipelined speculative edge-batch parallelism for the fault-tolerant
+// greedy.
 //
 // The greedy scans edges by increasing weight and asks the fault oracle one
 // exact question per edge against the spanner H built so far. The scan looks
 // inherently sequential — each answer may change H for the next question —
-// but batches of EQUAL-weight edges leave room to speculate: while deciding
-// a batch, H can only gain edges of that same weight, so most answers
-// computed against a frozen snapshot of H remain exact, and the rest are
-// cheap to repair. Concretely, for each maximal run of same-weight edges:
+// but speculation makes most of it parallel, resting on one monotonicity
+// fact (the "monotone lift"): adding edges to H only shrinks the set of
+// valid fault sets, because any F that stretches (u,v) in H' ⊇ H also does
+// so in H — forbid F ∩ H and the H-distance can only be larger. Hence an
+// oracle answer computed against ANY earlier snapshot S ⊆ H stays exact in
+// one direction: "no fault set against S" implies "none against H". Only
+// "found witness" answers need re-checking, and exhibiting the witness
+// against the live H (one bounded Dijkstra via Oracle.ValidateWitness) is a
+// complete re-check — the existence question is answered by the exhibit, no
+// search needed.
 //
-//  1. snapshot H (graph.Snapshot: O(n), immutable, safe for concurrent
-//     reads while the scan goroutine later mutates H);
-//  2. fan the batch out over Parallelism workers, each owning a private
-//     oracle (solver, memo, witness cache) re-aimed at the snapshot via
-//     Rebind; every edge gets a full speculative oracle query;
-//  3. validate and commit sequentially, in the exact scan order:
-//     - "no fault set" answers are committed as drops even after earlier
-//     commits in the batch: H only gained edges since the snapshot, and
-//     adding edges only shrinks the set of valid fault sets (any F that
-//     stretches (u,v) in H' ⊇ H does so in H — forbid F∩H and the
-//     H-distance can only be larger), so "none against the snapshot"
-//     implies "none now" — the monotone lift;
-//     - the first "found witness" before any commit is exact as-is: H
-//     still equals the snapshot;
-//     - later "found witness" answers are suspect: the witness F was valid
-//     for the snapshot but an earlier commit may have opened a fresh
-//     detour. One bounded Dijkstra (Oracle.ValidateWitness) re-checks F
-//     against the live H; if F still works the edge is kept — the
-//     existence question is answered by exhibiting F, no search needed;
-//     - only when revalidation fails does the edge fall back to a full
-//     sequential re-query against the live H (counted as SpecWaste).
+// The engine built on that fact has three layers:
 //
-// Every commit decision is therefore made, in scan order, with an answer
-// that is exact for the live spanner at that moment — which is precisely
-// the sequential algorithm's invariant. The kept-edge set is consequently
-// IDENTICAL to the sequential scan's at any Parallelism (the differential
-// suite in parallel_test.go pins this across both fault modes); witnesses
-// and work counters may differ, since several valid witnesses can exist.
+//  1. Speculation (PR 3): each maximal run of >= minSpeculativeBatch
+//     same-weight edges is snapshot, fanned out over Parallelism workers
+//     (each owning a private oracle re-aimed via Rebind), and then validated
+//     and committed sequentially in exact scan order.
 //
-// Speculation wastes work when commits are frequent within a batch — the
-// worst case is a large all-equal-weight batch over a young, sparse H,
-// where almost every edge is kept and each commit invalidates its
-// successors. Stats.SpecHits/SpecWaste expose the balance; waste degrades
-// toward the sequential cost plus the (cheap, early-exiting) speculative
-// queries, it never changes the output.
+//  2. Pipelining (this PR): the scan goroutine no longer stalls between
+//     "speculation done" and "commit done". Up to Options.Pipeline batches
+//     are in flight at once: their snapshots are taken eagerly (snapshots
+//     are valid however stale — see the lift above) and pushed down
+//     per-worker channels, so while the scan goroutine walks batch i's
+//     answers the workers are already querying batch i+1. Commits stay
+//     strictly in scan order; graph.Snapshot explicitly permits concurrent
+//     snapshot reads while the parent gains edges, which is what makes the
+//     overlap sound. Short batches (below minSpeculativeBatch, in
+//     particular the all-distinct-weight regime) flow through the same
+//     in-order commit cursor but are decided inline against the live
+//     oracle, with zero snapshot or dispatch overhead.
+//
+//  3. Re-speculation rounds (this PR): an invalidated "found witness"
+//     answer used to fall back to a sequential live re-query — which made
+//     the all-equal-weight worst case (one batch spanning the whole scan,
+//     nearly every edge kept) effectively sequential. Instead, a batch's
+//     invalidated edges are collected and re-run as a second (then third,
+//     ...) parallel round against a fresh snapshot. Each round resolves all
+//     its "no fault set" answers (monotone lift) plus at least its first
+//     "found" answer (the round snapshot is exact until the round's first
+//     commit), so rounds strictly shrink and the loop terminates. A round
+//     with a single straggler short-circuits to one live re-query
+//     (Stats.SpecRequeries): a snapshot plus dispatch would cost more than
+//     the query itself.
+//
+// Commit-order invariants that keep the kept-edge set byte-identical to the
+// sequential scan at every (Parallelism, Pipeline) setting:
+//
+//   - batches commit in scan order; within a batch, edges are DECIDED in
+//     scan order except that a deferred (invalidated) edge suspends every
+//     later "found" decision in that batch — a later keep may not be
+//     committed while an earlier edge is unresolved, since resolving it
+//     could add an edge that invalidates the later witness. Drops are never
+//     suspended: the monotone lift makes them exact regardless of how the
+//     pending edges resolve.
+//   - a speculative "found" answer is committed as-is only when H has
+//     gained no edge since the answer's snapshot (tracked by edge count —
+//     H only ever appends); otherwise its witness must survive
+//     ValidateWitness against the live H.
+//
+// Together these reproduce, for every edge, exactly the sequential
+// algorithm's decision state: when edge e is decided, H equals the
+// sequential prefix-spanner for e. The differential suite in
+// parallel_test.go pins kept-set and spanner-digest identity across the
+// full (weight structure × mode × Parallelism × Pipeline) matrix, and the
+// fuzz target in fuzz_test.go hammers the re-speculation commit logic.
+//
+// Work accounting is conservation-checked: every speculative query ends as
+// exactly one of SpecHits (its answer produced the edge's final decision)
+// or SpecWaste (discarded, the edge re-entered a round), so SpecHits +
+// SpecWaste == SpecQueries; and every edge that entered the speculative
+// path is decided exactly once, by a speculative answer or by a live
+// straggler re-query, so batch edges == SpecHits + SpecRequeries.
 package core
 
 import (
@@ -56,8 +89,28 @@ import (
 
 // minSpeculativeBatch is the smallest same-weight run worth a snapshot and
 // worker dispatch; shorter runs (in particular all singletons, the
-// distinct-weight regime) take the sequential path with zero overhead.
+// distinct-weight regime) take the inline sequential path with zero
+// overhead.
 const minSpeculativeBatch = 2
+
+// defaultPipelineDepth is the Options.Pipeline value selected by 0: one
+// batch committing while one speculates. Deeper pipelines only pay off when
+// commit passes are long relative to speculation (many revalidations), and
+// every extra slot costs snapshot staleness.
+const defaultPipelineDepth = 2
+
+// MaxPipeline bounds Options.Pipeline: each in-flight slot pins a snapshot
+// and a results buffer, so an unbounded depth would be a memory lever with
+// no latency left to hide. Exported so spec-validating callers (the
+// service) reject over-limit values at submission instead of at build time.
+const MaxPipeline = 64
+
+// respecChunkPerWorker sizes a re-speculation round's query chunk as a
+// multiple of the worker count: enough slack that the round's committable
+// prefix rarely ends inside the chunk's first wave, small enough that a
+// validation failure early in the chunk does not waste a backlog-sized
+// sweep (see respeculate).
+const respecChunkPerWorker = 4
 
 // specResult is one worker's speculative answer for one batch edge.
 type specResult struct {
@@ -66,18 +119,102 @@ type specResult struct {
 	err     error
 }
 
-// scanParallel is the Parallelism > 1 edge scan: sequential decisions over
-// speculative batch answers.
+// inflight is one speculative batch moving through the pipeline: the edges,
+// the snapshot they were queried against, and the per-edge answers. Workers
+// claim edge indexes through next and announce completion through wg; the
+// scan goroutine waits on wg before walking results. Descriptors are
+// recycled across batches (see builder.getInflight).
+type inflight struct {
+	edges     []graph.Edge
+	snap      *graph.Graph
+	snapEdges int // spanner edge count at snapshot time
+	results   []specResult
+	next      atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// scanParallel is the Parallelism > 1 edge scan: a bounded pipeline of
+// speculative batches with strictly in-order commits.
 func (b *builder) scanParallel(edges []graph.Edge) error {
-	var results []specResult
+	depth := b.opts.Pipeline
+	if depth == 0 {
+		depth = defaultPipelineDepth
+	}
+	b.res.Stats.PipelineDepth = depth
+	workers := b.opts.Parallelism
+
+	// Split the scan into maximal same-weight batches once, so the dispatch
+	// lookahead below can run ahead of the commit cursor.
+	var batches [][]graph.Edge
 	for start := 0; start < len(edges); {
 		end := start + 1
 		for end < len(edges) && edges[end].Weight == edges[start].Weight {
 			end++
 		}
-		batch := edges[start:end]
+		batches = append(batches, edges[start:end])
 		start = end
-		if len(batch) < minSpeculativeBatch {
+	}
+
+	// Persistent worker pool: one goroutine + one private oracle per worker,
+	// fed by a per-worker channel with room for the whole pipeline. Every
+	// speculative batch is fanned out to every worker; workers claim edge
+	// indexes from the batch's shared cursor, so a batch smaller than the
+	// pool simply leaves the surplus workers to move on.
+	for len(b.workers) < workers {
+		o, err := fault.NewOracle(b.h, b.opts.Mode, b.oracleOpts)
+		if err != nil {
+			return err
+		}
+		b.workers = append(b.workers, o)
+	}
+	b.specChans = make([]chan *inflight, workers)
+	for w := range b.specChans {
+		b.specChans[w] = make(chan *inflight, depth)
+	}
+	var pool sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pool.Add(1)
+		go func(w int) {
+			defer pool.Done()
+			b.specWorker(b.workers[w], b.specChans[w])
+		}(w)
+	}
+	// Teardown runs on success and error alike: the abort flag makes
+	// workers drain still-queued batches without querying, and the join
+	// guarantees Greedy reads quiescent oracle counters.
+	defer func() {
+		b.specAbort.Store(true)
+		for _, ch := range b.specChans {
+			close(ch)
+		}
+		pool.Wait()
+		b.specChans = nil
+		b.specAbort.Store(false)
+	}()
+
+	// In-order commit cursor with a dispatch lookahead: at most depth
+	// speculative batches are in flight (snapshot taken, queued to the
+	// workers) at any time. Short batches neither snapshot nor count
+	// against the depth.
+	inFlight := 0
+	spec := make(map[int]*inflight, depth)
+	nextDispatch := 0
+	for i, batch := range batches {
+		// The fill loop always runs past index i before the decision below
+		// (inFlight counts only batches in [i, nextDispatch), so a stalled
+		// dispatcher implies a free slot), so a spec-sized batch is always
+		// dispatched by its commit turn.
+		for inFlight < depth && nextDispatch < len(batches) {
+			if len(batches[nextDispatch]) >= minSpeculativeBatch {
+				spec[nextDispatch] = b.dispatch(batches[nextDispatch])
+				inFlight++
+			}
+			nextDispatch++
+		}
+		fl, ok := spec[i]
+		if !ok {
+			// Short batch: decide inline against the live oracle, exactly
+			// like the sequential scan.
 			for _, e := range batch {
 				if err := b.step(); err != nil {
 					return err
@@ -88,42 +225,221 @@ func (b *builder) scanParallel(edges []graph.Edge) error {
 			}
 			continue
 		}
-		var err error
-		if results, err = b.speculate(batch, results); err != nil {
-			return err
-		}
-		if err := b.commitBatch(batch, results); err != nil {
+		delete(spec, i)
+		err := b.commitInflight(fl)
+		inFlight--
+		b.putInflight(fl)
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// speculate answers every batch edge concurrently against a fresh snapshot
-// of the spanner, reusing the results buffer across batches.
-func (b *builder) speculate(batch []graph.Edge, results []specResult) ([]specResult, error) {
-	snap := b.h.Snapshot()
-	workers := b.opts.Parallelism
-	if workers > len(batch) {
-		workers = len(batch)
+// specWorker serves one pipeline worker: re-aim the private oracle at each
+// arriving batch's snapshot, then claim and answer edges until the batch is
+// exhausted. Every result slot is written by exactly one worker before that
+// worker's wg.Done, so the scan goroutine's wg.Wait orders all writes
+// before its reads.
+func (b *builder) specWorker(o *fault.Oracle, ch <-chan *inflight) {
+	for fl := range ch {
+		if b.specAbort.Load() {
+			fl.wg.Done()
+			continue
+		}
+		rebindErr := o.Rebind(fl.snap)
+		for {
+			i := int(fl.next.Add(1)) - 1
+			if i >= len(fl.edges) {
+				break
+			}
+			if rebindErr != nil {
+				fl.results[i] = specResult{err: rebindErr}
+				continue
+			}
+			e := fl.edges[i]
+			wit, found, err := o.FindFaultSet(e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults)
+			fl.results[i] = specResult{witness: wit, found: found, err: err}
+		}
+		fl.wg.Done()
 	}
-	for len(b.workers) < workers {
-		o, err := fault.NewOracle(snap, b.opts.Mode, b.oracleOpts)
+}
+
+// dispatch snapshots the live spanner for one speculative batch and fans it
+// out to every pipeline worker.
+func (b *builder) dispatch(batch []graph.Edge) *inflight {
+	fl := b.getInflight(len(batch))
+	fl.edges = batch
+	fl.snap = b.h.SnapshotInto(fl.snap)
+	fl.snapEdges = b.h.NumEdges()
+	fl.wg.Add(len(b.specChans))
+	for _, ch := range b.specChans {
+		ch <- fl
+	}
+	b.res.Stats.SpecBatches++
+	b.res.Stats.SpecQueries += int64(len(batch))
+	return fl
+}
+
+// getInflight returns a recycled (or fresh) in-flight descriptor with a
+// results buffer for n edges. Its snap field may hold a recyclable snapshot
+// view for SnapshotInto.
+func (b *builder) getInflight(n int) *inflight {
+	var fl *inflight
+	if k := len(b.freeFl); k > 0 {
+		fl, b.freeFl = b.freeFl[k-1], b.freeFl[:k-1]
+	} else {
+		fl = &inflight{}
+	}
+	if cap(fl.results) < n {
+		fl.results = make([]specResult, n)
+	}
+	fl.results = fl.results[:n]
+	fl.next.Store(0)
+	return fl
+}
+
+// putInflight recycles a committed batch's descriptor. Safe because
+// commitInflight has waited out every worker touching it, and the workers'
+// oracles do not read their snapshot again until the next Rebind.
+func (b *builder) putInflight(fl *inflight) {
+	fl.edges = nil
+	b.freeFl = append(b.freeFl, fl)
+}
+
+// commitInflight turns one batch's speculative answers into exact commit
+// decisions: a scan-order walk applying the monotone-lift and
+// witness-revalidation rules, then re-speculation rounds over whatever the
+// walk had to defer.
+func (b *builder) commitInflight(fl *inflight) error {
+	fl.wg.Wait()
+	pending := b.pendingBuf[:0]
+	for i := range fl.edges {
+		e := fl.edges[i]
+		if err := b.step(); err != nil {
+			b.pendingBuf = pending[:0]
+			return err
+		}
+		r := fl.results[i]
+		if r.err != nil {
+			b.pendingBuf = pending[:0]
+			return fmt.Errorf("core: edge %d: %w", e.ID, r.err)
+		}
+		if !r.found {
+			// Monotone lift: exact whatever happened since the snapshot —
+			// earlier commits, earlier pipelined batches, pending edges.
+			b.res.Stats.SpecHits++
+			continue
+		}
+		if len(pending) == 0 {
+			if b.h.NumEdges() == fl.snapEdges {
+				// H has not changed since the snapshot; the speculative
+				// witness is exact as-is.
+				b.res.Stats.SpecHits++
+				b.live.NoteWitness(r.witness)
+				b.commit(e, r.witness)
+				continue
+			}
+			ok, err := b.live.ValidateWitness(e.U, e.V, b.opts.Stretch*e.Weight, r.witness)
+			if err != nil {
+				b.pendingBuf = pending[:0]
+				return fmt.Errorf("core: edge %d: %w", e.ID, err)
+			}
+			if ok {
+				// The stale witness survived revalidation against the live
+				// spanner: the edge must be kept, one Dijkstra total.
+				b.res.Stats.SpecHits++
+				b.live.NoteWitness(r.witness)
+				b.commit(e, r.witness)
+				continue
+			}
+			// A witness refuted against the live H stays refuted against
+			// every later H (the lift again): it is useless as a hint.
+			fl.results[i].witness = nil
+		}
+		// Invalidated — or unresolvable until the pending edges before it
+		// are: defer to a re-speculation round, keeping any still-plausible
+		// witness as that round's hint. This speculative answer is spent
+		// either way.
+		b.res.Stats.SpecWaste++
+		pending = append(pending, i)
+	}
+
+	var err error
+	for len(pending) > 0 && err == nil {
+		if len(pending) == 1 {
+			// A single straggler: one (hinted) live re-query beats a
+			// snapshot plus worker dispatch.
+			b.res.Stats.SpecRequeries++
+			i := pending[0]
+			e := fl.edges[i]
+			wit, found, qerr := b.live.FindFaultSetHinted(
+				e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults, fl.results[i].witness)
+			if qerr != nil {
+				err = fmt.Errorf("core: edge %d: %w", e.ID, qerr)
+			} else if found {
+				b.commit(e, wit)
+			}
+			pending = pending[:0]
+			break
+		}
+		pending, err = b.respeculate(fl, pending)
+	}
+	b.pendingBuf = pending[:0]
+	return err
+}
+
+// respeculate runs one re-speculation round: re-query the HEAD of the
+// pending list in parallel against a fresh snapshot of the live spanner,
+// then walk the answers with the same scan-order commit rules. It returns
+// the edges that are still unresolved (strictly fewer than it was given:
+// the round's drops are exact, and its first "found" answer commits as-is
+// because the round snapshot is fresh until the round's own first commit).
+//
+// Only a bounded chunk of the backlog is queried per round. Commits must
+// stay in scan order, so a round can never resolve past its first
+// still-invalid answer — querying the whole backlog would spend
+// |pending| queries to resolve only the committable prefix, turning a
+// keep-dense all-equal-weight scan quadratic. Chunking bounds each round's
+// work by the worker pool instead, and the untouched tail re-enters later
+// rounds against even fresher snapshots (when most speculative keeps are
+// destined to flip to drops, fresher is cheaper).
+//
+// Rounds use their own oracle pool: the pipeline workers are, by design,
+// busy speculating on future batches while rounds run.
+func (b *builder) respeculate(fl *inflight, pending []int) ([]int, error) {
+	b.res.Stats.SpecRounds++
+	chunk := respecChunkPerWorker * b.opts.Parallelism
+	head, tail := pending, []int(nil)
+	if len(pending) > chunk {
+		head, tail = pending[:chunk], pending[chunk:]
+	}
+	workers := b.opts.Parallelism
+	if workers > len(head) {
+		workers = len(head)
+	}
+	for len(b.rounders) < workers {
+		o, err := fault.NewOracle(b.h, b.opts.Mode, b.oracleOpts)
 		if err != nil {
 			return nil, err
 		}
-		b.workers = append(b.workers, o)
+		b.rounders = append(b.rounders, o)
 	}
-	for _, o := range b.workers[:workers] {
+	var snapSpare *graph.Graph
+	if k := len(b.freeSnaps); k > 0 {
+		snapSpare, b.freeSnaps = b.freeSnaps[k-1], b.freeSnaps[:k-1]
+	}
+	snap := b.h.SnapshotInto(snapSpare)
+	snapEdges := b.h.NumEdges()
+	for _, o := range b.rounders[:workers] {
 		if err := o.Rebind(snap); err != nil {
 			return nil, err
 		}
 	}
-	if cap(results) < len(batch) {
-		results = make([]specResult, len(batch))
-	} else {
-		results = results[:len(batch)]
+	if cap(b.roundRes) < len(head) {
+		b.roundRes = make([]specResult, len(head))
 	}
+	results := b.roundRes[:len(head)]
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -132,64 +448,61 @@ func (b *builder) speculate(batch []graph.Edge, results []specResult) ([]specRes
 		go func(o *fault.Oracle) {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(batch) {
+				j := int(next.Add(1)) - 1
+				if j >= len(head) {
 					return
 				}
-				e := batch[i]
-				wit, found, err := o.FindFaultSet(e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults)
-				results[i] = specResult{witness: wit, found: found, err: err}
+				e := fl.edges[head[j]]
+				// The edge's last witness rides along as a hint: a witness
+				// that was merely blocked behind an unresolved earlier edge
+				// revalidates in one Dijkstra instead of a fresh search.
+				wit, found, err := o.FindFaultSetHinted(
+					e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults, fl.results[head[j]].witness)
+				results[j] = specResult{witness: wit, found: found, err: err}
 			}
-		}(b.workers[w])
+		}(b.rounders[w])
 	}
 	wg.Wait()
-	b.res.Stats.SpecBatches++
-	b.res.Stats.SpecQueries += int64(len(batch))
-	return results, nil
-}
+	b.res.Stats.SpecQueries += int64(len(head))
+	b.freeSnaps = append(b.freeSnaps, snap)
 
-// commitBatch walks one batch in scan order, turning speculative answers
-// into exact commit decisions as described in the package comment.
-func (b *builder) commitBatch(batch []graph.Edge, results []specResult) error {
-	committed := false
-	for i, e := range batch {
-		if err := b.step(); err != nil {
-			return err
-		}
-		r := results[i]
+	out := pending[:0]
+	for j, i := range head {
+		e := fl.edges[i]
+		r := results[j]
 		if r.err != nil {
-			return fmt.Errorf("core: edge %d: %w", e.ID, r.err)
+			return nil, fmt.Errorf("core: edge %d: %w", e.ID, r.err)
 		}
 		if !r.found {
-			// Monotone lift: exact even after earlier commits in the batch.
 			b.res.Stats.SpecHits++
 			continue
 		}
-		if !committed {
-			// H still equals the snapshot; the speculative witness is exact.
-			b.res.Stats.SpecHits++
-			b.live.NoteWitness(r.witness)
-			b.commit(e, r.witness)
-			committed = true
-			continue
+		if len(out) == 0 {
+			if b.h.NumEdges() == snapEdges {
+				b.res.Stats.SpecHits++
+				b.live.NoteWitness(r.witness)
+				b.commit(e, r.witness)
+				continue
+			}
+			ok, err := b.live.ValidateWitness(e.U, e.V, b.opts.Stretch*e.Weight, r.witness)
+			if err != nil {
+				return nil, fmt.Errorf("core: edge %d: %w", e.ID, err)
+			}
+			if ok {
+				b.res.Stats.SpecHits++
+				b.live.NoteWitness(r.witness)
+				b.commit(e, r.witness)
+				continue
+			}
+			r.witness = nil // refuted against live H: dead as a hint too
 		}
-		ok, err := b.live.ValidateWitness(e.U, e.V, b.opts.Stretch*e.Weight, r.witness)
-		if err != nil {
-			return fmt.Errorf("core: edge %d: %w", e.ID, err)
-		}
-		if ok {
-			// The stale witness survived revalidation against the live
-			// spanner: the edge must be kept, one Dijkstra total.
-			b.res.Stats.SpecHits++
-			b.live.NoteWitness(r.witness)
-			b.commit(e, r.witness)
-			continue
-		}
-		// Invalidated by an earlier commit: decide exactly against live H.
+		// Deferred again: carry this round's (possibly nil) witness as the
+		// next round's hint.
 		b.res.Stats.SpecWaste++
-		if err := b.scanOne(e); err != nil {
-			return err
-		}
+		fl.results[i] = r
+		out = append(out, i)
 	}
-	return nil
+	// The unqueried tail stays pending as-is (append on the shared backing
+	// array only ever copies forward, so the in-place filter above is safe).
+	return append(out, tail...), nil
 }

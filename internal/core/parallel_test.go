@@ -76,8 +76,9 @@ func reweightDistinct(g *graph.Graph, rng *rand.Rand) (*graph.Graph, error) {
 
 // TestGreedyParallelDifferential is the tentpole acceptance suite: across
 // hundreds of random instances, both fault modes, and every tie structure,
-// the parallel builder at P ∈ {2,4,8} must produce a kept-edge set
-// byte-identical to the sequential builder's.
+// the pipelined builder at every (P, pipeline depth) in {2,4,8} x {1,2,4}
+// must produce a kept-edge set — and a spanner digest — byte-identical to
+// the sequential builder's, with conserved work counters.
 func TestGreedyParallelDifferential(t *testing.T) {
 	instances := 75 // x4 weight kinds = 300 instances
 	if testing.Short() {
@@ -101,43 +102,49 @@ func TestGreedyParallelDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			seqDigest := seqRes.Spanner.Digest()
 			for _, p := range []int{2, 4, 8} {
-				popts := opts
-				popts.Parallelism = p
-				parRes, err := Greedy(g, popts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				tag := fmt.Sprintf("inst %d (%s mode=%v n=%d m=%d k=%v f=%d P=%d)",
-					inst, kind, mode, n, g.NumEdges(), stretch, faults, p)
-				if len(parRes.Kept) != len(seqRes.Kept) {
-					t.Fatalf("%s: parallel kept %d edges, sequential kept %d",
-						tag, len(parRes.Kept), len(seqRes.Kept))
-				}
-				for i := range parRes.Kept {
-					if parRes.Kept[i] != seqRes.Kept[i] {
-						t.Fatalf("%s: kept sets diverge at position %d: %d != %d",
-							tag, i, parRes.Kept[i], seqRes.Kept[i])
+				for _, depth := range []int{1, 2, 4} {
+					popts := opts
+					popts.Parallelism = p
+					popts.Pipeline = depth
+					parRes, err := Greedy(g, popts)
+					if err != nil {
+						t.Fatal(err)
 					}
-				}
-				// Every recorded witness must be a genuine fault set for its
-				// edge (witness CONTENT may legitimately differ from the
-				// sequential run's).
-				if err := checkWitnesses(parRes); err != nil {
-					t.Fatalf("%s: %v", tag, err)
-				}
-				// A distinct-weight scan has no batch of length >= 2, so it
-				// must never speculate; every other kind on these sizes has
-				// ties, so at least one batch must have formed.
-				if kind == weightsAllDistinct && parRes.Stats.SpecBatches != 0 {
-					t.Fatalf("%s: distinct weights speculated %d batches", tag, parRes.Stats.SpecBatches)
-				}
-				if kind == weightsAllEqual && parRes.Stats.SpecBatches != 1 {
-					t.Fatalf("%s: all-equal weights formed %d batches, want 1", tag, parRes.Stats.SpecBatches)
-				}
-				if got := parRes.Stats.SpecHits + parRes.Stats.SpecWaste; parRes.Stats.SpecBatches > 0 && got != parRes.Stats.SpecQueries {
-					t.Fatalf("%s: spec accounting leak: hits %d + waste %d != queries %d",
-						tag, parRes.Stats.SpecHits, parRes.Stats.SpecWaste, parRes.Stats.SpecQueries)
+					tag := fmt.Sprintf("inst %d (%s mode=%v n=%d m=%d k=%v f=%d P=%d D=%d)",
+						inst, kind, mode, n, g.NumEdges(), stretch, faults, p, depth)
+					if len(parRes.Kept) != len(seqRes.Kept) {
+						t.Fatalf("%s: parallel kept %d edges, sequential kept %d",
+							tag, len(parRes.Kept), len(seqRes.Kept))
+					}
+					for i := range parRes.Kept {
+						if parRes.Kept[i] != seqRes.Kept[i] {
+							t.Fatalf("%s: kept sets diverge at position %d: %d != %d",
+								tag, i, parRes.Kept[i], seqRes.Kept[i])
+						}
+					}
+					if d := parRes.Spanner.Digest(); d != seqDigest {
+						t.Fatalf("%s: spanner digest %s != sequential %s", tag, d, seqDigest)
+					}
+					// Every recorded witness must be a genuine fault set for
+					// its edge (witness CONTENT may legitimately differ from
+					// the sequential run's).
+					if err := checkWitnesses(parRes); err != nil {
+						t.Fatalf("%s: %v", tag, err)
+					}
+					// A distinct-weight scan has no batch of length >= 2, so
+					// it must never speculate; every other kind on these
+					// sizes has ties, so at least one batch must have formed.
+					if kind == weightsAllDistinct && parRes.Stats.SpecBatches != 0 {
+						t.Fatalf("%s: distinct weights speculated %d batches", tag, parRes.Stats.SpecBatches)
+					}
+					if kind == weightsAllEqual && parRes.Stats.SpecBatches != 1 {
+						t.Fatalf("%s: all-equal weights formed %d batches, want 1", tag, parRes.Stats.SpecBatches)
+					}
+					if err := checkCounterConservation(parRes); err != nil {
+						t.Fatalf("%s: %v", tag, err)
+					}
 				}
 			}
 			if seqRes.Stats.SpecBatches != 0 || seqRes.Stats.SpecQueries != 0 {
@@ -145,6 +152,37 @@ func TestGreedyParallelDifferential(t *testing.T) {
 			}
 		}
 	}
+}
+
+// checkCounterConservation audits the speculation counters of a parallel
+// result, which are merged from per-worker and per-round oracles: no lost
+// updates and no double counting, including when batches are re-speculated.
+//
+//   - Every speculative query's answer is spent exactly once: used for the
+//     edge's final decision (SpecHits) or discarded into a re-speculation
+//     round (SpecWaste), so hits + waste == queries.
+//   - Every edge is decided by exactly one mechanism: the live oracle's
+//     sequential queries (short batches and straggler re-queries) or a
+//     speculative hit. The live oracle's calls are OracleCalls minus the
+//     speculative ones, giving hits + sequential == total - speculative,
+//     i.e. OracleCalls + SpecHits == EdgesScanned + SpecQueries.
+func checkCounterConservation(res *Result) error {
+	s := res.Stats
+	if s.SpecHits+s.SpecWaste != s.SpecQueries {
+		return fmt.Errorf("spec accounting leak: hits %d + waste %d != queries %d",
+			s.SpecHits, s.SpecWaste, s.SpecQueries)
+	}
+	if s.OracleCalls+s.SpecHits != int64(s.EdgesScanned)+s.SpecQueries {
+		return fmt.Errorf("oracle-call conservation broken: calls %d + hits %d != scanned %d + queries %d",
+			s.OracleCalls, s.SpecHits, int64(s.EdgesScanned), s.SpecQueries)
+	}
+	if s.SpecRequeries < 0 || s.SpecRounds < 0 || s.SpecWaste < 0 {
+		return fmt.Errorf("negative counter in %+v", s)
+	}
+	if s.SpecRounds == 0 && s.SpecRequeries == 0 && s.SpecWaste != 0 {
+		return fmt.Errorf("%d wasted answers but no round or re-query resolved them", s.SpecWaste)
+	}
+	return nil
 }
 
 // checkWitnesses revalidates every recorded witness of a result against the
@@ -210,6 +248,9 @@ func TestGreedyParallelMatchesAblations(t *testing.T) {
 		{DisableWitnessReuse: true},
 		{DisableBidi: true},
 		{DisablePruning: true},
+		{BlindWitnessCache: true},                      // PR3-era recency LRU
+		{BlindWitnessCache: true, WitnessCacheSize: 1}, // degenerate capacity
+		{WitnessCacheSize: 16},
 	}
 	instances := 10
 	if testing.Short() {
@@ -296,6 +337,12 @@ func TestGreedyParallelValidation(t *testing.T) {
 	if _, err := Greedy(g, Options{Stretch: 3, Mode: fault.Vertices, Parallelism: -1}); err == nil {
 		t.Fatal("negative parallelism must be rejected")
 	}
+	if _, err := Greedy(g, Options{Stretch: 3, Mode: fault.Vertices, Parallelism: 2, Pipeline: -1}); err == nil {
+		t.Fatal("negative pipeline must be rejected")
+	}
+	if _, err := Greedy(g, Options{Stretch: 3, Mode: fault.Vertices, Parallelism: 2, Pipeline: MaxPipeline + 1}); err == nil {
+		t.Fatalf("pipeline over %d must be rejected", MaxPipeline)
+	}
 	res, err := Greedy(g, Options{Stretch: 3, Mode: fault.Vertices, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -303,6 +350,74 @@ func TestGreedyParallelValidation(t *testing.T) {
 	if res.Stats.SpecBatches != 0 {
 		t.Fatal("parallelism 1 must not speculate")
 	}
+	if res.Stats.PipelineDepth != 0 {
+		t.Fatal("sequential run must report pipeline depth 0")
+	}
+}
+
+// TestGreedyPipelineDepthReported pins that parallel runs report the
+// effective depth (default applied for 0) and that deep pipelines on tied
+// weights actually overlap — multiple batches are dispatched before the
+// first commit finishes, which the dispatch-ahead counters witness
+// indirectly through conserved stats and identical output (the differential
+// suite) plus the depth echo here.
+func TestGreedyPipelineDepthReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	g := randomInstance(rng, 14, 30, weightsQuantized)
+	for _, tc := range []struct{ in, want int }{{0, defaultPipelineDepth}, {1, 1}, {4, 4}} {
+		res, err := Greedy(g, Options{Stretch: 3, Faults: 1, Mode: fault.Vertices, Parallelism: 3, Pipeline: tc.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PipelineDepth != tc.want {
+			t.Fatalf("Pipeline=%d reported depth %d, want %d", tc.in, res.Stats.PipelineDepth, tc.want)
+		}
+		if res.Stats.SpecBatches == 0 {
+			t.Fatalf("Pipeline=%d: quantized weights did not speculate", tc.in)
+		}
+	}
+}
+
+// TestGreedyReSpeculationRounds forces the all-equal-weight worst case — a
+// single batch spanning the whole scan on a dense graph where most edges are
+// kept, so commits invalidate nearly every later speculative witness — and
+// checks it resolves through parallel re-speculation rounds, not a
+// sequential fallback: every invalidated edge is accounted to a round or to
+// a sole-straggler re-query, and the counters conserve.
+func TestGreedyReSpeculationRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	g := randomInstance(rng, 12, 60, weightsAllEqual)
+	seqRes, err := Greedy(g, Options{Stretch: 2, Faults: 2, Mode: fault.Vertices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Greedy(g, Options{Stretch: 2, Faults: 2, Mode: fault.Vertices, Parallelism: 4, Pipeline: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpecBatches != 1 {
+		t.Fatalf("all-equal weights formed %d batches, want 1", res.Stats.SpecBatches)
+	}
+	if res.Stats.SpecWaste == 0 {
+		t.Fatal("dense all-equal instance produced no invalidated speculation; worst case not exercised")
+	}
+	if res.Stats.SpecRounds == 0 {
+		t.Fatal("invalidated speculation resolved without any re-speculation round")
+	}
+	if err := checkCounterConservation(res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != len(seqRes.Kept) {
+		t.Fatalf("kept %d, sequential kept %d", len(res.Kept), len(seqRes.Kept))
+	}
+	for i := range res.Kept {
+		if res.Kept[i] != seqRes.Kept[i] {
+			t.Fatalf("kept sets diverge at %d", i)
+		}
+	}
+	t.Logf("worst case: %d queries, %d hits, %d waste, %d rounds, %d re-queries",
+		res.Stats.SpecQueries, res.Stats.SpecHits, res.Stats.SpecWaste,
+		res.Stats.SpecRounds, res.Stats.SpecRequeries)
 }
 
 // TestGreedyParallelConcurrentBuilds runs several parallel builds at once to

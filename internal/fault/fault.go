@@ -71,17 +71,45 @@ type Options struct {
 	// its counts feed the conservative greedy's decisions, which must not
 	// depend on which within-bound paths the engine happens to return.
 	DisableBidi bool
+	// BlindWitnessCache reverts the witness cache to its original blind
+	// behavior — pure recency order, no hit scoring, no structural seeding —
+	// as the ablation baseline for the structure-aware cache. With
+	// WitnessCacheSize zero it also reverts to the old 4-entry capacity.
+	BlindWitnessCache bool
+	// WitnessCacheSize overrides the witness cache capacity. Zero selects
+	// the default (8 structured, 4 blind); the cache is consulted only when
+	// the exponential branching is imminent, so each extra entry costs at
+	// most one bounded Dijkstra per consulted query.
+	WitnessCacheSize int
 	// EdgeCapacity sizes the edge fault mask. The searched graph may grow
 	// (the greedy adds edges between queries); set this to the maximum edge
 	// ID it will ever hold. Zero means the graph's current edge count.
 	EdgeCapacity int
 }
 
-// witnessCacheSize bounds the per-oracle LRU of recent witness fault sets.
-// Each failed revalidation costs one bounded Dijkstra, so the cache is kept
-// small; it is consulted only after the packing bound has failed to refute
-// the query, i.e. exactly when the exponential branching is imminent.
-const witnessCacheSize = 4
+// Witness cache tuning. The cache is consulted only after the packing bound
+// has failed to refute the query, i.e. exactly when the exponential branching
+// is imminent, and each trial (cached set or structural seed) costs one
+// bounded reach-only Dijkstra — cheap insurance against branching.
+const (
+	// witnessCacheSizeBlind is the default capacity under BlindWitnessCache:
+	// the original 4-entry recency LRU.
+	witnessCacheSizeBlind = 4
+	// witnessCacheSizeStructured is the default capacity of the scored
+	// cache. Doubling the blind default is affordable because trials are
+	// ordered by score, so the added tail entries are only reached when the
+	// proven ones already failed.
+	witnessCacheSizeStructured = 8
+	// witnessDecay is the per-consult multiplicative score decay: entries
+	// that stop hitting fade toward eviction while repeat hitters (cut
+	// vertices, bottleneck edges) stay at the front.
+	witnessDecay = 0.9
+	// witnessSeedLimit bounds the structural seed singletons tried per
+	// consulted query: candidate fault elements read off the current short
+	// path's structure (high-degree internal vertices in Vertices mode,
+	// min-endpoint-degree edges in Edges mode).
+	witnessSeedLimit = 2
+)
 
 // memoMaxEntries bounds the generation-stamped memo table. The table is
 // never wiped per query (generation stamps invalidate stale entries for
@@ -118,13 +146,25 @@ type Oracle struct {
 	// so the recursion allocates nothing after warm-up.
 	cand [][]int
 
-	// witnesses is the reuse LRU, most recently useful first.
-	witnesses [][]int
+	// witnesses is the reuse cache. Structured mode (the default) keeps it
+	// sorted by score descending — an exponentially decayed hit count, so
+	// trial order and eviction track which fault sets actually keep
+	// witnessing; BlindWitnessCache keeps it in pure recency order.
+	witnesses []witnessEntry
 
-	calls         int64
-	dijkstras     int64
-	witnessHits   int64
-	witnessMisses int64
+	calls            int64
+	dijkstras        int64
+	witnessHits      int64
+	witnessMisses    int64
+	witnessSeedTries int64
+	witnessSeedHits  int64
+}
+
+// witnessEntry is one cached witness fault set with its decayed hit score
+// (unused in blind mode, where position encodes recency).
+type witnessEntry struct {
+	set   []int
+	score float64
 }
 
 // NewOracle returns an oracle over g in the given mode. The graph may gain
@@ -183,8 +223,9 @@ func (o *Oracle) Calls() int64 { return o.calls }
 // included.
 func (o *Oracle) Dijkstras() int64 { return o.dijkstras }
 
-// WitnessHits returns the number of queries answered by revalidating a
-// cached witness fault set instead of branching.
+// WitnessHits returns the number of queries answered by the witness cache
+// machinery — a revalidated cached fault set or a structural seed — instead
+// of branching.
 func (o *Oracle) WitnessHits() int64 { return o.witnessHits }
 
 // WitnessMisses returns the number of queries where the witness cache was
@@ -192,6 +233,25 @@ func (o *Oracle) WitnessHits() int64 { return o.witnessHits }
 // cache applies (no short path, zero budget, or refuted by the packing
 // bound) count neither as hits nor as misses.
 func (o *Oracle) WitnessMisses() int64 { return o.witnessMisses }
+
+// WitnessSeedTries returns the number of structural seed singletons tested
+// (each one bounded reach-only Dijkstra).
+func (o *Oracle) WitnessSeedTries() int64 { return o.witnessSeedTries }
+
+// WitnessSeedHits returns the number of queries answered by a structural
+// seed — a subset of WitnessHits.
+func (o *Oracle) WitnessSeedHits() int64 { return o.witnessSeedHits }
+
+// witnessCap returns the effective witness cache capacity.
+func (o *Oracle) witnessCap() int {
+	if o.opts.WitnessCacheSize > 0 {
+		return o.opts.WitnessCacheSize
+	}
+	if o.opts.BlindWitnessCache {
+		return witnessCacheSizeBlind
+	}
+	return witnessCacheSizeStructured
+}
 
 // FindFaultSet searches for a fault set F with |F| <= budget such that
 // dist_{g\F}(u, v) > bound. It returns the witness (vertex IDs in Vertices
@@ -227,6 +287,31 @@ func (o *Oracle) FindFaultSet(u, v int, bound float64, budget int) ([]int, bool,
 	return witness, true, nil
 }
 
+// FindFaultSetHinted is FindFaultSet with a candidate witness tried first:
+// if hint (non-empty, within budget) still witnesses on the current graph —
+// one bounded reach-only test — a copy of it is returned directly, skipping
+// the search; otherwise the full query runs. The pipelined greedy's
+// re-speculation rounds pass each deferred edge's last known witness, so a
+// witness that was merely blocked behind an unresolved earlier edge costs
+// one Dijkstra to confirm instead of a fresh exponential search. A hinted
+// answer counts as one oracle call either way.
+func (o *Oracle) FindFaultSetHinted(u, v int, bound float64, budget int, hint []int) ([]int, bool, error) {
+	if len(hint) == 0 || len(hint) > budget {
+		return o.FindFaultSet(u, v, bound, budget)
+	}
+	ok, err := o.ValidateWitness(u, v, bound, hint)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return o.FindFaultSet(u, v, bound, budget)
+	}
+	o.calls++
+	w := append([]int(nil), hint...)
+	o.remember(w)
+	return w, true, nil
+}
+
 // ValidateWitness checks with a single bounded reachability test whether w
 // still witnesses dist_{g\w}(u,v) > bound on the oracle's CURRENT graph.
 // This is how the parallel greedy salvages speculative answers computed
@@ -260,7 +345,7 @@ func (o *Oracle) ValidateWitness(u, v int, bound float64, w []int) (bool, error)
 			o.forbiddenE.Add(x)
 		}
 	}
-	return !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE), nil
+	return !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE, false), nil
 }
 
 // NoteWitness offers an externally discovered witness fault set to the
@@ -271,11 +356,13 @@ func (o *Oracle) NoteWitness(w []int) { o.remember(w) }
 
 // runReach runs one bounded reachability test against the oracle's graph
 // with the given masks, dispatching to the bidirectional engine unless
-// ablated, and reports whether v is within bound of u. On success the
-// solver holds a valid <=bound u-v path for extraction.
-func (o *Oracle) runReach(u, v int, bound float64, fv, fe *bitset.Set) bool {
+// ablated, and reports whether v is within bound of u. With needPath the
+// solver holds a valid <=bound u-v path for extraction on success; without
+// it the bidirectional engine skips the path splice (sssp.Options.ReachOnly)
+// — the witness revalidation and seed trials only consume the boolean.
+func (o *Oracle) runReach(u, v int, bound float64, fv, fe *bitset.Set, needPath bool) bool {
 	o.dijkstras++
-	opts := sssp.Options{ForbiddenVertices: fv, ForbiddenEdges: fe, Bound: bound}
+	opts := sssp.Options{ForbiddenVertices: fv, ForbiddenEdges: fe, Bound: bound, ReachOnly: !needPath}
 	var err error
 	if o.opts.DisableBidi {
 		err = o.solver.RunReach(o.g, u, v, opts)
@@ -294,7 +381,7 @@ func (o *Oracle) runReach(u, v int, bound float64, fv, fe *bitset.Set) bool {
 // (o.chosen and the forbidden sets) hold the witness. top is true for the
 // query-level invocation, where witness reuse applies.
 func (o *Oracle) search(u, v int, bound float64, budget int, top bool) bool {
-	if !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE) {
+	if !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE, true) {
 		return true // dist > bound already; chosen faults are a witness
 	}
 	if budget == 0 {
@@ -362,12 +449,23 @@ func (o *Oracle) search(u, v int, bound float64, budget int, top bool) bool {
 	return false
 }
 
-// tryCachedWitnesses revalidates recent witness fault sets against the
-// current query, most recently useful first. On success the winning set is
-// loaded into o.chosen/forbidden state (the same contract as a successful
-// search) and moved to the cache front.
+// tryCachedWitnesses revalidates cached witness fault sets against the
+// current query — by decayed hit score in structured mode, by recency under
+// BlindWitnessCache — and then, in structured mode, falls back to structural
+// seed singletons read off the current short path. On success the winning
+// set is loaded into o.chosen/forbidden state (the same contract as a
+// successful search) and credited in the cache's hit history.
 func (o *Oracle) tryCachedWitnesses(u, v int, bound float64, budget int, pathElems []int) bool {
-	for i, w := range o.witnesses {
+	structured := !o.opts.BlindWitnessCache
+	if structured {
+		// Uniform decay preserves order, so no re-sort is needed; entries
+		// that stop hitting drift toward the eviction tail.
+		for i := range o.witnesses {
+			o.witnesses[i].score *= witnessDecay
+		}
+	}
+	for i := range o.witnesses {
+		w := o.witnesses[i].set
 		if len(w) == 0 || len(w) > budget {
 			continue
 		}
@@ -377,53 +475,159 @@ func (o *Oracle) tryCachedWitnesses(u, v int, bound float64, budget int, pathEle
 		if !intersects(w, pathElems) {
 			continue
 		}
-		for _, x := range w {
-			if o.mode == Vertices {
-				o.forbiddenV.Add(x)
-			} else {
-				o.forbiddenE.Add(x)
-			}
-		}
-		if !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE) {
-			o.chosen = append(o.chosen[:0], w...)
-			if i != 0 {
-				copy(o.witnesses[1:i+1], o.witnesses[:i])
-				o.witnesses[0] = w
-			}
+		if o.loadIfWitness(u, v, bound, w) {
+			o.creditEntry(i)
 			return true
 		}
-		for _, x := range w {
-			if o.mode == Vertices {
-				o.forbiddenV.Remove(x)
-			} else {
-				o.forbiddenE.Remove(x)
-			}
+	}
+	if structured && budget > 0 && o.trySeeds(u, v, bound, pathElems) {
+		return true
+	}
+	return false
+}
+
+// loadIfWitness forbids w and re-checks it with one bounded reach-only test.
+// On success (w still a witness) the forbidden sets stay loaded and o.chosen
+// holds a copy of w; on failure every element is unloaded again.
+func (o *Oracle) loadIfWitness(u, v int, bound float64, w []int) bool {
+	for _, x := range w {
+		if o.mode == Vertices {
+			o.forbiddenV.Add(x)
+		} else {
+			o.forbiddenE.Add(x)
+		}
+	}
+	if !o.runReach(u, v, bound, o.forbiddenV, o.forbiddenE, false) {
+		o.chosen = append(o.chosen[:0], w...)
+		return true
+	}
+	for _, x := range w {
+		if o.mode == Vertices {
+			o.forbiddenV.Remove(x)
+		} else {
+			o.forbiddenE.Remove(x)
 		}
 	}
 	return false
 }
 
-// remember inserts a found witness at the front of the reuse LRU,
-// deduplicating against existing entries.
+// creditEntry records a hit on cache entry i: blind mode moves it to the
+// recency front, structured mode bumps its score and restores the ordering.
+func (o *Oracle) creditEntry(i int) {
+	if o.opts.BlindWitnessCache {
+		if i != 0 {
+			e := o.witnesses[i]
+			copy(o.witnesses[1:i+1], o.witnesses[:i])
+			o.witnesses[0] = e
+		}
+		return
+	}
+	o.witnesses[i].score++
+	for i > 0 && o.witnesses[i].score > o.witnesses[i-1].score {
+		o.witnesses[i], o.witnesses[i-1] = o.witnesses[i-1], o.witnesses[i]
+		i--
+	}
+}
+
+// seedCand is one structural seed candidate with its ranking key (higher
+// tries first; path position breaks ties deterministically).
+type seedCand struct{ x, key int }
+
+// trySeeds tests up to witnessSeedLimit singleton fault sets derived from
+// the current short path's structure: in Vertices mode the internal path
+// vertices of highest degree (the hubs every detour tends to route through
+// — the articulation points of the path neighborhood in the extreme case),
+// in Edges mode the path edges whose endpoints have the lowest minimum
+// degree (bridge-like edges with the fewest alternative routes). Each trial
+// is one bounded reach-only Dijkstra; a hit is loaded exactly like a cached
+// witness and then remembered by the caller, so proven seeds graduate into
+// the scored cache.
+func (o *Oracle) trySeeds(u, v int, bound float64, pathElems []int) bool {
+	if len(pathElems) == 0 {
+		return false
+	}
+	var cands [witnessSeedLimit]seedCand
+	n := 0
+	for _, x := range pathElems {
+		var key int
+		if o.mode == Vertices {
+			key = o.g.Degree(x)
+		} else {
+			e := o.g.Edge(x)
+			du, dv := o.g.Degree(e.U), o.g.Degree(e.V)
+			if dv < du {
+				du = dv
+			}
+			key = -du
+		}
+		pos := n
+		for pos > 0 && key > cands[pos-1].key {
+			pos--
+		}
+		if pos >= witnessSeedLimit {
+			continue
+		}
+		if n < witnessSeedLimit {
+			n++
+		}
+		for j := n - 1; j > pos; j-- {
+			cands[j] = cands[j-1]
+		}
+		cands[pos] = seedCand{x: x, key: key}
+	}
+trial:
+	for _, c := range cands[:n] {
+		// A cached singleton {x} on the path was already revalidated above;
+		// retrying it as a seed would waste the Dijkstra.
+		for i := range o.witnesses {
+			if w := o.witnesses[i].set; len(w) == 1 && w[0] == c.x {
+				continue trial
+			}
+		}
+		o.witnessSeedTries++
+		if o.loadIfWitness(u, v, bound, []int{c.x}) {
+			o.witnessSeedHits++
+			return true
+		}
+	}
+	return false
+}
+
+// remember inserts a found witness into the reuse cache, deduplicating
+// against existing entries: blind mode front-inserts and evicts the recency
+// tail, structured mode inserts by score (fresh entries start at 1, ahead of
+// decayed non-hitters but behind proven repeat hitters) and evicts the
+// lowest-scoring entry.
 func (o *Oracle) remember(w []int) {
 	if o.opts.DisableWitnessReuse || len(w) == 0 {
 		return
 	}
-	for i, have := range o.witnesses {
-		if equalSets(have, w) {
-			if i != 0 {
-				copy(o.witnesses[1:i+1], o.witnesses[:i])
-				o.witnesses[0] = have
-			}
+	for i := range o.witnesses {
+		if equalSets(o.witnesses[i].set, w) {
+			o.creditEntry(i)
 			return
 		}
 	}
-	entry := append([]int(nil), w...)
-	if len(o.witnesses) < witnessCacheSize {
-		o.witnesses = append(o.witnesses, nil)
+	entry := witnessEntry{set: append([]int(nil), w...), score: 1}
+	max := o.witnessCap()
+	if o.opts.BlindWitnessCache {
+		if len(o.witnesses) < max {
+			o.witnesses = append(o.witnesses, witnessEntry{})
+		}
+		copy(o.witnesses[1:], o.witnesses)
+		o.witnesses[0] = entry
+		return
 	}
-	copy(o.witnesses[1:], o.witnesses)
-	o.witnesses[0] = entry
+	if len(o.witnesses) >= max {
+		o.witnesses = o.witnesses[:max-1]
+	}
+	pos := len(o.witnesses)
+	for pos > 0 && entry.score >= o.witnesses[pos-1].score {
+		pos--
+	}
+	o.witnesses = append(o.witnesses, witnessEntry{})
+	copy(o.witnesses[pos+1:], o.witnesses[pos:])
+	o.witnesses[pos] = entry
 }
 
 // CountDisjointShortPaths greedily packs pairwise internally-vertex-disjoint

@@ -324,8 +324,32 @@ func (g *Graph) Clone() *Graph {
 // with ErrReadOnlyView, and the endpoint-index queries HasEdge/EdgeBetween
 // panic: the index map cannot be shared with a concurrently mutating parent.
 func (g *Graph) Snapshot() *Graph {
-	seg := make([]segment, len(g.seg))
+	return g.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot with view recycling: when view is a *Graph
+// previously returned by Snapshot/SnapshotInto (of any graph) that the caller
+// no longer reads, its per-vertex descriptor slice is reused instead of
+// allocated afresh. The pipelined parallel greedy takes one snapshot per
+// speculative batch and per re-speculation round, so recycling turns the
+// per-batch O(NumVertices) allocation into a copy over warm memory. A nil or
+// non-view argument (or one too small to hold the descriptors) falls back to
+// a fresh allocation; the recycled view must not be aliased by any other
+// goroutine when it is passed in.
+func (g *Graph) SnapshotInto(view *Graph) *Graph {
+	var seg []segment
+	if view != nil && view.view && cap(view.seg) >= len(g.seg) {
+		seg = view.seg[:len(g.seg)]
+	} else {
+		seg = make([]segment, len(g.seg))
+	}
 	copy(seg, g.seg)
+	if view != nil && view.view {
+		view.edges = g.edges[:len(g.edges):len(g.edges)]
+		view.arcs = g.arcs[:len(g.arcs):len(g.arcs)]
+		view.seg = seg
+		return view
+	}
 	return &Graph{
 		edges: g.edges[:len(g.edges):len(g.edges)],
 		arcs:  g.arcs[:len(g.arcs):len(g.arcs)],

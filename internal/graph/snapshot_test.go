@@ -170,3 +170,56 @@ func TestSnapshotConcurrentReads(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestSnapshotInto verifies view recycling: a recycled view sees exactly
+// the graph's current state, allocates nothing new when its descriptor
+// slice is big enough, and a foreign (non-view or undersized) argument
+// falls back to a fresh snapshot.
+func TestSnapshotInto(t *testing.T) {
+	g := New(8)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+
+	v1 := g.Snapshot()
+	d1 := v1.Digest()
+
+	g.MustAddEdge(2, 3, 3)
+	v2 := g.SnapshotInto(v1)
+	if v2 != v1 {
+		t.Fatal("SnapshotInto did not reuse the recycled view")
+	}
+	if v2.NumEdges() != 3 {
+		t.Fatalf("recycled view sees %d edges, want 3", v2.NumEdges())
+	}
+	if v2.Digest() != g.Digest() {
+		t.Fatal("recycled view digest differs from parent")
+	}
+	if v2.Digest() == d1 {
+		t.Fatal("recycled view still reports the pre-recycle state")
+	}
+
+	// nil and non-view fall back to fresh allocation.
+	if v := g.SnapshotInto(nil); v == nil || !v.view {
+		t.Fatal("nil argument did not produce a fresh view")
+	}
+	if v := g.SnapshotInto(New(8)); v == nil || !v.view {
+		t.Fatal("non-view argument did not produce a fresh view")
+	}
+
+	// A view too small for a grown parent is still reused as the container,
+	// with a fresh descriptor slice behind it.
+	small := New(2)
+	small.MustAddEdge(0, 1, 1)
+	sv := small.Snapshot()
+	big := g.SnapshotInto(sv)
+	if big != sv || big.NumVertices() != 8 || big.Digest() != g.Digest() {
+		t.Fatalf("undersized view not regrown correctly: n=%d", big.NumVertices())
+	}
+
+	// Recycled views keep the snapshot consistency guarantee while the
+	// parent mutates.
+	g.MustAddEdge(3, 4, 4)
+	if v2.NumEdges() != 3 {
+		t.Fatal("recycled view leaked a post-snapshot edge")
+	}
+}

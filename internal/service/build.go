@@ -23,6 +23,11 @@ const maxGeneratedSize = 1 << 20
 // value would be a memory amplification lever.
 const maxParallelism = 64
 
+// maxPipeline caps the per-job pipeline depth at the core engine's own
+// bound, so every accepted spec validates there too (and an over-limit
+// value is a 400 at submission, never a failed job at build time).
+const maxPipeline = core.MaxPipeline
+
 // newRand is the service's deterministic RNG constructor: same seed, same
 // randomized build or verification outcome.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -53,6 +58,12 @@ func normalizeSpec(spec *JobSpec) error {
 	}
 	if spec.Parallelism > 1 && spec.Algorithm != AlgoGreedy {
 		return fmt.Errorf("parallelism applies to algorithm %q only, got %q", AlgoGreedy, spec.Algorithm)
+	}
+	if spec.Pipeline < 0 || spec.Pipeline > maxPipeline {
+		return fmt.Errorf("pipeline must be in [0,%d], got %d", maxPipeline, spec.Pipeline)
+	}
+	if spec.Pipeline > 0 && spec.Parallelism <= 1 {
+		return fmt.Errorf("pipeline requires parallelism > 1, got parallelism %d", spec.Parallelism)
 	}
 	switch spec.Algorithm {
 	case AlgoGreedy, AlgoConservative:
@@ -152,10 +163,11 @@ func materialize(spec *JobSpec) (*graph.Graph, error) {
 
 // cacheKeyFor derives the result cache key of a normalized spec and its
 // materialized graph. Only sampling-vft output depends on the seed, so the
-// seed is zeroed for every other algorithm. Parallelism never enters the
-// key: the parallel greedy's kept-edge set is provably identical to the
-// sequential one's, so one cached result serves every worker-count setting
-// (and in-flight dedup coalesces a P=4 submission onto a running P=0 build).
+// seed is zeroed for every other algorithm. Parallelism and Pipeline never
+// enter the key: the pipelined parallel greedy's kept-edge set is provably
+// identical to the sequential one's at every (worker count, depth), so one
+// cached result serves every setting (and in-flight dedup coalesces a P=4
+// submission onto a running P=0 build).
 func cacheKeyFor(spec JobSpec, g *graph.Graph) CacheKey {
 	key := CacheKey{
 		Digest:    g.Digest(),
@@ -194,6 +206,7 @@ func build(ctx context.Context, job *Job) (*buildResult, error) {
 			Mode:        mode,
 			Progress:    hook,
 			Parallelism: spec.Parallelism,
+			Pipeline:    spec.Pipeline,
 		}
 		var res *core.Result
 		if spec.Algorithm == AlgoGreedy {

@@ -116,15 +116,26 @@ type statusResponse struct {
 
 // statsBody is core.Stats in JSON form.
 type statsBody struct {
-	EdgesScanned  int     `json:"edges_scanned"`
-	OracleCalls   int64   `json:"oracle_calls"`
-	Dijkstras     int64   `json:"dijkstras"`
-	WitnessHits   int64   `json:"witness_hits"`
-	WitnessMisses int64   `json:"witness_misses"`
-	SpecBatches   int64   `json:"spec_batches,omitempty"`
-	SpecQueries   int64   `json:"spec_queries,omitempty"`
-	SpecHits      int64   `json:"spec_hits,omitempty"`
-	SpecWaste     int64   `json:"spec_waste,omitempty"`
+	EdgesScanned  int   `json:"edges_scanned"`
+	OracleCalls   int64 `json:"oracle_calls"`
+	Dijkstras     int64 `json:"dijkstras"`
+	WitnessHits   int64 `json:"witness_hits"`
+	WitnessMisses int64 `json:"witness_misses"`
+	// WitnessHitRate is hits/(hits+misses) for this build's oracles; seed
+	// hits (witness_seed_hits) are included in witness_hits.
+	WitnessHitRate   float64 `json:"witness_hit_rate"`
+	WitnessSeedTries int64   `json:"witness_seed_tries,omitempty"`
+	WitnessSeedHits  int64   `json:"witness_seed_hits,omitempty"`
+	SpecBatches      int64   `json:"spec_batches,omitempty"`
+	SpecQueries      int64   `json:"spec_queries,omitempty"`
+	SpecHits         int64   `json:"spec_hits,omitempty"`
+	SpecWaste        int64   `json:"spec_waste,omitempty"`
+	SpecRounds       int64   `json:"spec_rounds,omitempty"`
+	SpecRequeries    int64   `json:"spec_requeries,omitempty"`
+	SpecHitRate      float64 `json:"spec_hit_rate,omitempty"`
+	// PipelineDepth is the effective pipeline depth the build ran with (0
+	// for sequential builds).
+	PipelineDepth int     `json:"pipeline_depth,omitempty"`
 	DurationMS    float64 `json:"duration_ms"`
 }
 
@@ -157,16 +168,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.SpannerEdges = &m
 		st := job.result.stats
 		resp.Stats = &statsBody{
-			EdgesScanned:  st.EdgesScanned,
-			OracleCalls:   st.OracleCalls,
-			Dijkstras:     st.Dijkstras,
-			WitnessHits:   st.WitnessHits,
-			WitnessMisses: st.WitnessMisses,
-			SpecBatches:   st.SpecBatches,
-			SpecQueries:   st.SpecQueries,
-			SpecHits:      st.SpecHits,
-			SpecWaste:     st.SpecWaste,
-			DurationMS:    float64(st.Duration.Microseconds()) / 1000,
+			EdgesScanned:     st.EdgesScanned,
+			OracleCalls:      st.OracleCalls,
+			Dijkstras:        st.Dijkstras,
+			WitnessHits:      st.WitnessHits,
+			WitnessMisses:    st.WitnessMisses,
+			WitnessHitRate:   st.WitnessHitRate(),
+			WitnessSeedTries: st.WitnessSeedTries,
+			WitnessSeedHits:  st.WitnessSeedHits,
+			SpecBatches:      st.SpecBatches,
+			SpecQueries:      st.SpecQueries,
+			SpecHits:         st.SpecHits,
+			SpecWaste:        st.SpecWaste,
+			SpecRounds:       st.SpecRounds,
+			SpecRequeries:    st.SpecRequeries,
+			SpecHitRate:      st.SpecHitRate(),
+			PipelineDepth:    st.PipelineDepth,
+			DurationMS:       float64(st.Duration.Microseconds()) / 1000,
 		}
 	}
 	job.mu.Unlock()

@@ -23,8 +23,14 @@ type metrics struct {
 	specBatches   atomic.Int64 // same-weight edge batches speculated on (parallel builds)
 	specQueries   atomic.Int64 // speculative oracle queries issued against snapshots
 	specHits      atomic.Int64 // batch edges committed straight from speculation
-	specWaste     atomic.Int64 // batch edges invalidated and re-queried sequentially
+	specWaste     atomic.Int64 // speculative answers invalidated and re-speculated
+	specRounds    atomic.Int64 // parallel re-speculation rounds over invalidated edges
+	specRequeries atomic.Int64 // invalidated edges resolved by a single live re-query
+	witnessSeeds  atomic.Int64 // structural witness seed trials across completed builds
+	witnessSeedOK atomic.Int64 // seed trials that answered their query
 	jobsEvicted   atomic.Int64 // terminal jobs removed by the retention janitor
+
+	maxPipeline atomic.Int64 // deepest effective pipeline any completed build ran
 
 	// Per-priority-class scheduling counters, indexed by class.
 	dequeued [numClasses]atomic.Int64 // jobs handed to a worker from this class
@@ -47,6 +53,17 @@ func (m *metrics) buildStarted() {
 }
 
 func (m *metrics) buildFinished() { m.buildsInFlight.Add(-1) }
+
+// notePipelineDepth maintains the deepest-pipeline gauge.
+func (m *metrics) notePipelineDepth(d int) {
+	n := int64(d)
+	for {
+		hw := m.maxPipeline.Load()
+		if n <= hw || m.maxPipeline.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
 
 // QueueClassSnapshot reports one priority class's queue in GET /metrics.
 type QueueClassSnapshot struct {
@@ -103,16 +120,28 @@ type MetricsSnapshot struct {
 	WitnessCacheHits     int64   `json:"witness_cache_hits"`
 	WitnessCacheMisses   int64   `json:"witness_cache_misses"`
 	WitnessCacheHitRatio float64 `json:"witness_cache_hit_ratio"`
-	// Spec* aggregate the parallel greedy's speculation counters across
-	// completed builds: batches speculated, speculative queries issued,
-	// edges committed straight from a speculative answer, and edges whose
-	// speculation was invalidated by an earlier commit and re-queried (the
-	// wasted work).
-	SpecBatches  int64   `json:"spec_batches"`
-	SpecQueries  int64   `json:"spec_queries"`
-	SpecHits     int64   `json:"spec_hits"`
-	SpecWaste    int64   `json:"spec_waste"`
-	SpecHitRatio float64 `json:"spec_hit_ratio"`
+	// WitnessSeedTries/Hits count the structure-aware cache's seed trials
+	// (singleton fault candidates read off path structure) and the queries
+	// they answered; seed hits are included in witness_cache_hits.
+	WitnessSeedTries int64 `json:"witness_seed_tries"`
+	WitnessSeedHits  int64 `json:"witness_seed_hits"`
+	// Spec* aggregate the pipelined parallel greedy's speculation counters
+	// across completed builds: batches speculated, speculative queries
+	// issued (initial batches plus re-speculation rounds), answers
+	// committed straight from speculation, answers invalidated by an
+	// earlier commit (spec_hits + spec_waste == spec_queries), parallel
+	// re-speculation rounds run, and invalidated edges resolved by a single
+	// live re-query.
+	SpecBatches   int64   `json:"spec_batches"`
+	SpecQueries   int64   `json:"spec_queries"`
+	SpecHits      int64   `json:"spec_hits"`
+	SpecWaste     int64   `json:"spec_waste"`
+	SpecRounds    int64   `json:"spec_rounds"`
+	SpecRequeries int64   `json:"spec_requeries"`
+	SpecHitRatio  float64 `json:"spec_hit_ratio"`
+	// MaxPipelineDepth is the deepest effective pipeline any completed
+	// build ran with (0 until a parallel build completes).
+	MaxPipelineDepth int64 `json:"max_pipeline_depth"`
 	// JobsEvicted counts terminal jobs removed by the retention janitor;
 	// their IDs answer 404 afterwards.
 	JobsEvicted int64 `json:"jobs_evicted"`
@@ -140,12 +169,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 
 		WitnessCacheHits:   s.met.witnessHits.Load(),
 		WitnessCacheMisses: s.met.witnessMisses.Load(),
+		WitnessSeedTries:   s.met.witnessSeeds.Load(),
+		WitnessSeedHits:    s.met.witnessSeedOK.Load(),
 
-		SpecBatches: s.met.specBatches.Load(),
-		SpecQueries: s.met.specQueries.Load(),
-		SpecHits:    s.met.specHits.Load(),
-		SpecWaste:   s.met.specWaste.Load(),
-		JobsEvicted: s.met.jobsEvicted.Load(),
+		SpecBatches:      s.met.specBatches.Load(),
+		SpecQueries:      s.met.specQueries.Load(),
+		SpecHits:         s.met.specHits.Load(),
+		SpecWaste:        s.met.specWaste.Load(),
+		SpecRounds:       s.met.specRounds.Load(),
+		SpecRequeries:    s.met.specRequeries.Load(),
+		MaxPipelineDepth: s.met.maxPipeline.Load(),
+		JobsEvicted:      s.met.jobsEvicted.Load(),
 
 		BuildsInFlight:      s.met.buildsInFlight.Load(),
 		MaxConcurrentBuilds: s.met.maxInFlight.Load(),
@@ -156,7 +190,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if total := snap.WitnessCacheHits + snap.WitnessCacheMisses; total > 0 {
 		snap.WitnessCacheHitRatio = float64(snap.WitnessCacheHits) / float64(total)
 	}
-	if total := snap.SpecHits + snap.SpecWaste; total > 0 {
+	// Like core.Stats.SpecHitRate: the fraction of speculative-path edges
+	// decided from a speculative answer rather than a live re-query.
+	if total := snap.SpecHits + snap.SpecRequeries; total > 0 {
 		snap.SpecHitRatio = float64(snap.SpecHits) / float64(total)
 	}
 	if s.store != nil {

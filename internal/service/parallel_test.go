@@ -68,7 +68,8 @@ func TestParallelismSharesCacheKey(t *testing.T) {
 }
 
 // TestParallelismValidation pins the spec validation: negative or oversized
-// worker counts and non-greedy algorithms are rejected.
+// worker counts and non-greedy algorithms are rejected, as are pipeline
+// depths without workers to feed them.
 func TestParallelismValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	bad := []JobSpec{
@@ -80,10 +81,58 @@ func TestParallelismValidation(t *testing.T) {
 			s.Algorithm = AlgoConservative
 			return s
 		}(),
+		func() JobSpec { s := parallelSpec(1, 4); s.Pipeline = -1; return s }(),
+		func() JobSpec { s := parallelSpec(1, 4); s.Pipeline = maxPipeline + 1; return s }(),
+		func() JobSpec { s := smallSpec(1); s.Pipeline = 2; return s }(), // pipeline without parallelism
 	}
 	for i, spec := range bad {
 		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", spec, nil); code != http.StatusBadRequest {
 			t.Fatalf("bad spec %d accepted with code %d", i, code)
 		}
+	}
+}
+
+// TestPipelineJobEndToEnd submits a pipelined parallel build and checks the
+// depth and round counters surface in the job stats and /metrics, and that
+// the pipeline depth stays out of the cache key (a deeper resubmission is a
+// cache hit).
+func TestPipelineJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	spec := parallelSpec(11, 4)
+	spec.Pipeline = 4
+	sub := submitJob(t, ts, spec)
+	st := waitState(t, ts, sub.ID, StateDone)
+	if st.Stats == nil {
+		t.Fatal("done job has no stats")
+	}
+	if st.Stats.PipelineDepth != 4 {
+		t.Fatalf("job stats report pipeline depth %d, want 4", st.Stats.PipelineDepth)
+	}
+	if st.Stats.SpecBatches < 1 {
+		t.Fatalf("pipelined build reported no speculation: %+v", *st.Stats)
+	}
+	if st.Stats.SpecHits+st.Stats.SpecWaste != st.Stats.SpecQueries {
+		t.Fatalf("spec accounting leak: %+v", *st.Stats)
+	}
+	if st.Stats.WitnessHits+st.Stats.WitnessMisses > 0 && st.Stats.WitnessHitRate <= 0 {
+		t.Fatalf("witness hit rate not surfaced: %+v", *st.Stats)
+	}
+	m := getMetrics(t, ts)
+	if m.MaxPipelineDepth != 4 {
+		t.Fatalf("metrics max_pipeline_depth %d, want 4", m.MaxPipelineDepth)
+	}
+	if m.SpecRounds != st.Stats.SpecRounds || m.SpecRequeries != st.Stats.SpecRequeries {
+		t.Fatalf("metrics do not aggregate round counters: %+v vs %+v", m, *st.Stats)
+	}
+	if m.WitnessSeedTries != st.Stats.WitnessSeedTries || m.WitnessSeedHits != st.Stats.WitnessSeedHits {
+		t.Fatalf("metrics do not aggregate seed counters: %+v vs %+v", m, *st.Stats)
+	}
+
+	// Same spec at a different depth: determinism-neutral, so a cache hit.
+	spec.Pipeline = 1
+	again := submitJob(t, ts, spec)
+	if !again.Cached {
+		t.Fatalf("pipeline depth leaked into the cache key: %+v", again)
 	}
 }

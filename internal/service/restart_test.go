@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/ftspanner/ftspanner/internal/graph"
 	"github.com/ftspanner/ftspanner/internal/store"
@@ -25,6 +26,26 @@ func spannerDigestOf(t *testing.T, ts *httptest.Server, id string) (digest, enco
 		t.Fatalf("spanner does not decode: %v", err)
 	}
 	return h.Digest(), sp.Spanner, sp.Kept
+}
+
+// waitStoreWrites polls /metrics until the store reports at least n writes
+// (the durable write trails the job's done state by design).
+func waitStoreWrites(t *testing.T, ts *httptest.Server, n int64) MetricsSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		m := getMetrics(t, ts)
+		if !m.StoreEnabled {
+			t.Fatalf("store not enabled: %+v", m)
+		}
+		if m.StoreWrites >= n {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store writes stuck at %d, want %d", m.StoreWrites, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // storeFiles lists the live record files under dir.
@@ -51,9 +72,10 @@ func TestRestartWarmFromStore(t *testing.T) {
 	first := submitJob(t, ts1, spec)
 	waitState(t, ts1, first.ID, StateDone)
 	digest1, enc1, kept1 := spannerDigestOf(t, ts1, first.ID)
-	if m := getMetrics(t, ts1); !m.StoreEnabled || m.StoreWrites != 1 {
-		t.Fatalf("first process metrics %+v, want store enabled with one write", m)
-	}
+	// The job turns done before the worker's durable write lands (status
+	// visibility does not wait on disk; only the dedup-key release does), so
+	// poll for the write instead of asserting instantly.
+	waitStoreWrites(t, ts1, 1)
 	if files := storeFiles(t, dir, ".ftr"); len(files) != 1 {
 		t.Fatalf("store dir holds %v, want one record", files)
 	}
@@ -194,7 +216,7 @@ func TestCorruptStoreFilesQuarantinedAndRebuilt(t *testing.T) {
 			if digest2 != digest1 {
 				t.Fatalf("rebuild digest %s != original %s", digest2, digest1)
 			}
-			m := getMetrics(t, ts2)
+			m := waitStoreWrites(t, ts2, 1) // re-persist trails the done state
 			if m.StoreCorruptTotal != 1 {
 				t.Fatalf("store_corrupt_total=%d, want 1", m.StoreCorruptTotal)
 			}

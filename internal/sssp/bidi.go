@@ -238,6 +238,19 @@ func (s *Solver) RunReachBidi(g *graph.Graph, src, target int, opts Options) err
 		}
 	}
 
+	if opts.ReachOnly {
+		// The caller wants only the boolean: mark the target reached with a
+		// certified-path upper bound and skip the splice walk entirely. The
+		// parent chain for target is left incomplete, which is exactly what
+		// Options.ReachOnly documents.
+		if math.IsInf(distF[target], 1) {
+			s.touched = append(s.touched, target)
+			distF[target] = mu
+		}
+		settledF[target] = true
+		return nil
+	}
+
 	// Success: splice the backward half onto the forward parent chain so the
 	// regular extractors see one src->target path. The two halves cannot
 	// share a vertex besides the meeting point: a shared vertex w would have

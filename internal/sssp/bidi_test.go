@@ -222,3 +222,33 @@ func TestRunReachBidiAfterEnsure(t *testing.T) {
 		t.Fatal("0-39 within 38.5 must be unreached")
 	}
 }
+
+// TestRunReachBidiReachOnly pins Options.ReachOnly: the boolean answer must
+// match the full bidirectional run on every query, and solver state must
+// reset cleanly between runs even though the path splice is skipped.
+func TestRunReachBidiReachOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for inst := 0; inst < 50; inst++ {
+		g := randomGraph(rng, 4+rng.Intn(12), rng.Intn(30))
+		full := NewSolver(g.NumVertices())
+		ro := NewSolver(g.NumVertices())
+		for q := 0; q < 20; q++ {
+			u, v := rng.Intn(g.NumVertices()), rng.Intn(g.NumVertices())
+			if u == v {
+				continue
+			}
+			opts := Options{Bound: 1 + 3*rng.Float64()}
+			if err := full.RunReachBidi(g, u, v, opts); err != nil {
+				t.Fatal(err)
+			}
+			opts.ReachOnly = true
+			if err := ro.RunReachBidi(g, u, v, opts); err != nil {
+				t.Fatal(err)
+			}
+			if full.Reached(v) != ro.Reached(v) {
+				t.Fatalf("inst %d query (%d,%d) bound %v: reach-only=%v full=%v",
+					inst, u, v, opts.Bound, ro.Reached(v), full.Reached(v))
+			}
+		}
+	}
+}

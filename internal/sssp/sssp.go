@@ -27,6 +27,17 @@ type Options struct {
 	// known to be farther than Bound; vertices at distance > Bound are
 	// reported unreached. Zero or negative means unbounded.
 	Bound float64
+	// ReachOnly (honored by RunReachBidi) declares that the caller needs
+	// only the boolean reachability answer: on success the backward half is
+	// not spliced into the forward parent chain, so Reached(target) is
+	// exact but the path extractors are NOT valid for target. Witness
+	// revalidation is the intended user — it re-checks a known fault set
+	// with one bounded search and never extracts the detour, so it skips
+	// the splice walk (and its touched-list growth) on every hit.
+	// RunReach ignores the flag: the unidirectional search's parent chain
+	// is complete the moment the target is contacted, so there is nothing
+	// to skip.
+	ReachOnly bool
 }
 
 // Solver runs Dijkstra repeatedly over graphs with at most Cap vertices,

@@ -29,14 +29,21 @@ import (
 //	      12  crc     uint32 (CRC-32/IEEE of the payload)
 //	      16  payload
 //
-// The version-1 payload is a sequence of varint-coded fields (strings are
+// The version-2 payload is a sequence of varint-coded fields (strings are
 // uvarint length + bytes):
 //
 //	key, numVertices, inputEdges, spannerDigest,
-//	len(kept), kept[0..], then the ten Stats counters.
+//	len(kept), kept[0..], then the fifteen Stats counters.
+//
+// Version 1 carried ten counters; readers reject it like any other unknown
+// version, so pre-existing records are quarantined and rebuilt once (the
+// store is a cache — rebuild-on-upgrade is the documented, self-healing
+// path) rather than silently decoding with the new counters zeroed, which
+// would misreport restored jobs' stats (e.g. a spec hit rate of a false
+// 1.0).
 const (
 	magic      = "FTSR"
-	Version    = 1
+	Version    = 2
 	headerSize = 16
 
 	// maxPayload rejects absurd length fields before any allocation; real
@@ -60,16 +67,21 @@ func corruptf(format string, args ...any) error {
 // alongside a result (core.Stats, flattened to fixed integer fields so the
 // codec does not depend on the core package).
 type Stats struct {
-	EdgesScanned  int64
-	OracleCalls   int64
-	Dijkstras     int64
-	WitnessHits   int64
-	WitnessMisses int64
-	SpecBatches   int64
-	SpecQueries   int64
-	SpecHits      int64
-	SpecWaste     int64
-	DurationNS    int64
+	EdgesScanned     int64
+	OracleCalls      int64
+	Dijkstras        int64
+	WitnessHits      int64
+	WitnessMisses    int64
+	SpecBatches      int64
+	SpecQueries      int64
+	SpecHits         int64
+	SpecWaste        int64
+	SpecRounds       int64
+	SpecRequeries    int64
+	PipelineDepth    int64
+	WitnessSeedTries int64
+	WitnessSeedHits  int64
+	DurationNS       int64
 }
 
 // Record is one persisted build result. Key is the caller's canonical build
@@ -109,20 +121,24 @@ func Encode(rec *Record) []byte {
 }
 
 // counters lists the stats fields in codec order.
-func (s *Stats) counters() [10]int64 {
-	return [10]int64{
+func (s *Stats) counters() [15]int64 {
+	return [15]int64{
 		s.EdgesScanned, s.OracleCalls, s.Dijkstras,
 		s.WitnessHits, s.WitnessMisses,
 		s.SpecBatches, s.SpecQueries, s.SpecHits, s.SpecWaste,
+		s.SpecRounds, s.SpecRequeries, s.PipelineDepth,
+		s.WitnessSeedTries, s.WitnessSeedHits,
 		s.DurationNS,
 	}
 }
 
-func (s *Stats) setCounters(c [10]int64) {
+func (s *Stats) setCounters(c [15]int64) {
 	s.EdgesScanned, s.OracleCalls, s.Dijkstras = c[0], c[1], c[2]
 	s.WitnessHits, s.WitnessMisses = c[3], c[4]
 	s.SpecBatches, s.SpecQueries, s.SpecHits, s.SpecWaste = c[5], c[6], c[7], c[8]
-	s.DurationNS = c[9]
+	s.SpecRounds, s.SpecRequeries, s.PipelineDepth = c[9], c[10], c[11]
+	s.WitnessSeedTries, s.WitnessSeedHits = c[12], c[13]
+	s.DurationNS = c[14]
 }
 
 // Decode parses a record written by Encode. Any deviation — truncation,
@@ -175,7 +191,7 @@ func Decode(data []byte) (*Record, error) {
 			rec.Kept = append(rec.Kept, id)
 		}
 	}
-	var c [10]int64
+	var c [15]int64
 	for i := range c {
 		c[i] = d.varint("stats counter")
 	}

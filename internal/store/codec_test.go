@@ -17,16 +17,21 @@ func sampleRecord() *Record {
 		SpannerDigest: "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
 		Kept:          []int{0, 5, 3, 149, 7, 7},
 		Stats: Stats{
-			EdgesScanned:  150,
-			OracleCalls:   150,
-			Dijkstras:     4321,
-			WitnessHits:   10,
-			WitnessMisses: 90,
-			SpecBatches:   3,
-			SpecQueries:   12,
-			SpecHits:      11,
-			SpecWaste:     1,
-			DurationNS:    1_234_567_890,
+			EdgesScanned:     150,
+			OracleCalls:      150,
+			Dijkstras:        4321,
+			WitnessHits:      10,
+			WitnessMisses:    90,
+			SpecBatches:      3,
+			SpecQueries:      12,
+			SpecHits:         11,
+			SpecWaste:        1,
+			SpecRounds:       2,
+			SpecRequeries:    1,
+			PipelineDepth:    4,
+			WitnessSeedTries: 8,
+			WitnessSeedHits:  5,
+			DurationNS:       1_234_567_890,
 		},
 	}
 }
@@ -52,16 +57,21 @@ func randomRecord(rng *rand.Rand) *Record {
 		SpannerDigest: letters(65),
 		Kept:          kept,
 		Stats: Stats{
-			EdgesScanned:  int64(rng.Intn(1 << 20)),
-			OracleCalls:   rng.Int63n(1 << 40),
-			Dijkstras:     rng.Int63n(1 << 40),
-			WitnessHits:   rng.Int63n(1 << 30),
-			WitnessMisses: rng.Int63n(1 << 30),
-			SpecBatches:   rng.Int63n(1 << 30),
-			SpecQueries:   rng.Int63n(1 << 30),
-			SpecHits:      rng.Int63n(1 << 30),
-			SpecWaste:     rng.Int63n(1 << 30),
-			DurationNS:    rng.Int63n(1 << 50),
+			EdgesScanned:     int64(rng.Intn(1 << 20)),
+			OracleCalls:      rng.Int63n(1 << 40),
+			Dijkstras:        rng.Int63n(1 << 40),
+			WitnessHits:      rng.Int63n(1 << 30),
+			WitnessMisses:    rng.Int63n(1 << 30),
+			SpecBatches:      rng.Int63n(1 << 30),
+			SpecQueries:      rng.Int63n(1 << 30),
+			SpecHits:         rng.Int63n(1 << 30),
+			SpecWaste:        rng.Int63n(1 << 30),
+			SpecRounds:       rng.Int63n(1 << 30),
+			SpecRequeries:    rng.Int63n(1 << 30),
+			PipelineDepth:    rng.Int63n(64),
+			WitnessSeedTries: rng.Int63n(1 << 30),
+			WitnessSeedHits:  rng.Int63n(1 << 30),
+			DurationNS:       rng.Int63n(1 << 50),
 		},
 	}
 }
