@@ -10,6 +10,7 @@ import (
 
 	"github.com/ftspanner/ftspanner"
 	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/obs"
 )
 
 // componentBench is one entry of the -benchjson report: a component
@@ -52,6 +53,11 @@ type componentBench struct {
 	// Wall-clock speedup requires runnable CPUs; see the report's cpus field.
 	Baseline          string  `json:"baseline,omitempty"`
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// OracleQueryLatency summarizes sampled per-query oracle latency for
+	// cases run with the latency hook attached — the same obs.Summary shape
+	// ftserve reports in /metrics, so the recorded trajectory and the live
+	// service share one schema.
+	OracleQueryLatency *obs.Summary `json:"oracle_query_latency,omitempty"`
 }
 
 // benchReport is the top-level -benchjson document. CPUs records the
@@ -84,6 +90,10 @@ type buildCase struct {
 	pipeline    int
 	// baseline names an earlier case to compute a speedup against.
 	baseline string
+	// observed attaches the sampled oracle-latency hook during the timed
+	// runs, measuring the observability overhead against the baseline case
+	// (speedup_vs_baseline ≈ 1 means the hook is free).
+	observed bool
 }
 
 var buildCases = []buildCase{
@@ -91,6 +101,10 @@ var buildCases = []buildCase{
 	{name: "BuildVFTf3", mode: ftspanner.VertexFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 3},
 	{name: "BuildEFTf1", mode: ftspanner.EdgeFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 1},
 	{name: "BuildEFTf3", mode: ftspanner.EdgeFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 3},
+	// BuildVFTf1 again with the latency-sampling hook attached: the
+	// recorded speedup_vs_baseline is the histogram overhead (target <2%).
+	{name: "BuildVFTf1Obs", mode: ftspanner.VertexFaults, n: 80, m: 800, seed: 1, stretch: 3, faults: 1,
+		baseline: "BuildVFTf1", observed: true},
 	// The parallel-build large fixture: quantized weights give ~170-edge
 	// same-weight batches, the regime the speculative scan was built for.
 	{name: "LargeVFTf2Seq", mode: ftspanner.VertexFaults, n: 150, m: 2000, seed: 7, stretch: 3, faults: 2, levels: 12},
@@ -152,6 +166,11 @@ func runBenchJSON(path string, out io.Writer, parallelism, pipeline int) error {
 		}
 		opts := ftspanner.Options{Stretch: c.stretch, Faults: c.faults, Mode: c.mode,
 			Parallelism: c.parallelism, Pipeline: c.pipeline}
+		var queryHist *obs.Histogram
+		if c.observed {
+			queryHist = obs.NewHistogram()
+			opts.Oracle.ObserveQuery = queryHist.Record
+		}
 
 		// One instrumented run for the counters the testing harness cannot
 		// see (Dijkstras, witness cache traffic, output size)...
@@ -190,6 +209,10 @@ func runBenchJSON(path string, out io.Writer, parallelism, pipeline int) error {
 			SpecHitRate:      res.Stats.SpecHitRate(),
 			PipelineDepth:    res.Stats.PipelineDepth,
 			SpannerDigest:    res.Spanner.Digest(),
+		}
+		if queryHist != nil {
+			s := queryHist.Summarize()
+			entry.OracleQueryLatency = &s
 		}
 		digests[c.name] = entry.SpannerDigest
 		if c.baseline != "" {
@@ -267,12 +290,29 @@ func oracleQueryBench(out io.Writer) (componentBench, error) {
 			}
 		}
 	})
-	fmt.Fprintf(out, "%-12s %12.0f ns/op %8d allocs/op %10d B/op\n",
-		"OracleQuery", float64(br.NsPerOp()), br.AllocsPerOp(), br.AllocedBytesPerOp())
+	// A separate instrumented pass feeds the latency histogram (sampled, the
+	// same hook ftserve uses), so the summary below and the service's
+	// /metrics oracle_query block share schema and methodology.
+	hist := obs.NewHistogram()
+	observed, err := fault.NewOracle(res.Spanner, fault.Vertices, fault.Options{ObserveQuery: hist.Record})
+	if err != nil {
+		return componentBench{}, err
+	}
+	const latencyQueries = 4096
+	for i := 0; i < latencyQueries; i++ {
+		e := g.Edge(i % g.NumEdges())
+		if _, _, err := observed.FindFaultSet(e.U, e.V, 3*e.Weight, 2); err != nil {
+			return componentBench{}, err
+		}
+	}
+	sum := hist.Summarize()
+	fmt.Fprintf(out, "%-12s %12.0f ns/op %8d allocs/op %10d B/op  p50=%.3fms p99=%.3fms\n",
+		"OracleQuery", float64(br.NsPerOp()), br.AllocsPerOp(), br.AllocedBytesPerOp(), sum.P50MS, sum.P99MS)
 	return componentBench{
-		Name:        "OracleQuery",
-		NsPerOp:     float64(br.NsPerOp()),
-		AllocsPerOp: br.AllocsPerOp(),
-		BytesPerOp:  br.AllocedBytesPerOp(),
+		Name:               "OracleQuery",
+		NsPerOp:            float64(br.NsPerOp()),
+		AllocsPerOp:        br.AllocsPerOp(),
+		BytesPerOp:         br.AllocedBytesPerOp(),
+		OracleQueryLatency: &sum,
 	}, nil
 }

@@ -8,7 +8,8 @@
 //
 //	ftserve [-addr :8437] [-workers 4] [-queue 64] [-queue-caps high=32,normal=48,low=16]
 //	        [-cache 128] [-store-dir DIR] [-store-max-bytes 268435456]
-//	        [-max-body 8388608] [-retention 15m] [-pprof addr]
+//	        [-max-body 8388608] [-retention 15m] [-trace-retention 0]
+//	        [-wait-budget 0] [-pipeline-cap 8] [-pprof addr]
 //
 // See the repository README for the endpoint reference, curl examples, and
 // the profiling workflow behind the -pprof flag.
@@ -24,6 +25,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"syscall"
@@ -31,6 +33,22 @@ import (
 
 	"github.com/ftspanner/ftspanner/internal/service"
 )
+
+// version is the build stamp reported in /metrics and /healthz; module
+// build info (commit, dirty flag) is appended when the toolchain embeds it.
+const version = "ftserve/0.6"
+
+// buildVersion renders the full stamp.
+func buildVersion() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return version + "+" + s.Value[:12]
+			}
+		}
+	}
+	return version
+}
 
 // options is the parsed command line.
 type options struct {
@@ -85,6 +103,12 @@ func parseArgs(args []string) (options, error) {
 	fs.Int64Var(&opts.cfg.MaxBodyBytes, "max-body", 8<<20, "request body size limit in bytes")
 	fs.DurationVar(&opts.cfg.JobRetention, "retention", 15*time.Minute,
 		"how long finished jobs stay addressable before eviction (0 for the default, negative to keep forever)")
+	fs.DurationVar(&opts.cfg.TraceRetention, "trace-retention", 0,
+		"how long finished jobs' lifecycle traces stay readable at /v1/jobs/{id}/trace (0 matches -retention, negative never drops early)")
+	fs.DurationVar(&opts.cfg.WaitBudget, "wait-budget", 0,
+		"queue-wait budget per priority class: when a class's recent p90 wait (or head-of-line age) exceeds it, submissions get 429 (0 disables shedding)")
+	fs.IntVar(&opts.cfg.PipelineCap, "pipeline-cap", 8,
+		"ceiling of the adaptive pipeline depth chosen for jobs with parallelism > 1 and pipeline unset")
 	fs.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -97,6 +121,12 @@ func parseArgs(args []string) (options, error) {
 	}
 	if opts.cfg.StoreMaxBytes == 0 {
 		return options{}, fmt.Errorf("store-max-bytes must be positive (or negative for unbounded)")
+	}
+	if opts.cfg.PipelineCap < 1 {
+		return options{}, fmt.Errorf("pipeline-cap must be positive, got %d", opts.cfg.PipelineCap)
+	}
+	if opts.cfg.WaitBudget < 0 {
+		return options{}, fmt.Errorf("wait-budget must be non-negative, got %v", opts.cfg.WaitBudget)
 	}
 	caps, err := parseQueueCaps(queueCaps)
 	if err != nil {
@@ -111,6 +141,7 @@ func parseArgs(args []string) (options, error) {
 		}
 	}
 	opts.cfg.QueueCaps = caps
+	opts.cfg.Version = buildVersion()
 	return opts, nil
 }
 

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/ftspanner/ftspanner/internal/service"
 )
@@ -16,6 +18,24 @@ func TestParseArgsDefaults(t *testing.T) {
 	}
 	if opts.cfg.Workers != 4 || opts.cfg.QueueDepth != 64 || opts.cfg.CacheEntries != 128 || opts.cfg.MaxBodyBytes != 8<<20 {
 		t.Errorf("default config %+v", opts.cfg)
+	}
+	if opts.cfg.TraceRetention != 0 || opts.cfg.WaitBudget != 0 || opts.cfg.PipelineCap != 8 {
+		t.Errorf("default observability config %+v", opts.cfg)
+	}
+	if !strings.HasPrefix(opts.cfg.Version, version) {
+		t.Errorf("version stamp %q does not start with %q", opts.cfg.Version, version)
+	}
+}
+
+func TestParseArgsObservabilityFlags(t *testing.T) {
+	opts, err := parseArgs([]string{
+		"-trace-retention", "5m", "-wait-budget", "250ms", "-pipeline-cap", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.TraceRetention != 5*time.Minute || opts.cfg.WaitBudget != 250*time.Millisecond || opts.cfg.PipelineCap != 16 {
+		t.Errorf("parsed observability config %+v", opts.cfg)
 	}
 }
 
@@ -88,6 +108,8 @@ func TestParseArgsRejectsBadValues(t *testing.T) {
 		{"-queue-caps", "low=x"},
 		{"-queue-caps", "normal=64"},             // not below the default -queue 64
 		{"-queue", "8", "-queue-caps", "high=9"}, // above an explicit depth
+		{"-pipeline-cap", "0"},
+		{"-wait-budget", "-1s"},
 		{"stray"},
 		{"-no-such-flag"},
 	} {

@@ -61,6 +61,51 @@ type Options struct {
 	// set is identical at every depth; deeper pipelines trade staler
 	// snapshots (more revalidation, more SpecWaste) for less commit-stall.
 	Pipeline int
+	// Phase, if non-nil, receives build-phase boundary events from the
+	// speculative engine: a batch dispatched to the workers, a batch's
+	// commit walk finished, a re-speculation round resolved. Always called
+	// from the scan goroutine (never concurrently), in event order, and only
+	// under Parallelism > 1 — the sequential scan has no internal phases.
+	// The hook is observational: it cannot abort the build (that is
+	// Progress's job), and the greedy's decisions are identical with and
+	// without it.
+	Phase func(PhaseInfo)
+}
+
+// Phase names delivered in PhaseInfo.Phase.
+const (
+	// PhaseBatchSpeculate fires when a same-weight batch is snapshot and
+	// fanned out to the speculation workers.
+	PhaseBatchSpeculate = "batch-speculate"
+	// PhaseBatchCommit fires when a batch's commit walk (including its
+	// re-speculation rounds) completes.
+	PhaseBatchCommit = "batch-commit"
+	// PhaseRespecRound fires after each parallel re-speculation round over a
+	// batch's invalidated edges.
+	PhaseRespecRound = "respec-round"
+)
+
+// PhaseInfo describes one build-phase boundary, delivered to Options.Phase.
+// Unused fields are zero for a given phase.
+type PhaseInfo struct {
+	// Phase is one of the Phase* constants.
+	Phase string
+	// Batch is the speculative batch ordinal, in dispatch order for
+	// PhaseBatchSpeculate and commit order for the other phases (the
+	// pipeline dispatches ahead of commits, so the two orders interleave).
+	Batch int
+	// Edges is the batch length (batch phases) or the number of edges
+	// re-queried (PhaseRespecRound).
+	Edges int
+	// Kept is the total kept-edge count when the event fired.
+	Kept int
+	// Pending is the still-unresolved edge count after a re-speculation
+	// round (PhaseRespecRound only).
+	Pending int
+	// WitnessHits is the live oracle's cumulative witness-cache hit count —
+	// the "witness-cache episode" marker: a trace can read cache warmth off
+	// consecutive events' deltas.
+	WitnessHits int64
 }
 
 // Stats captures instrumentation of a run.
@@ -279,6 +324,18 @@ type builder struct {
 	freeFl     []*inflight
 	pendingBuf []int
 	roundRes   []specResult
+
+	// committedBatches numbers PhaseBatchCommit/PhaseRespecRound events; it
+	// trails Stats.SpecBatches by the pipeline's in-flight count.
+	committedBatches int
+}
+
+// emitPhase delivers one phase-boundary event to the Options.Phase hook.
+// Only ever called from the scan goroutine.
+func (b *builder) emitPhase(info PhaseInfo) {
+	if b.opts.Phase != nil {
+		b.opts.Phase(info)
+	}
 }
 
 func (b *builder) scanSequential(edges []graph.Edge) error {

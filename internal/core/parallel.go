@@ -278,6 +278,13 @@ func (b *builder) dispatch(batch []graph.Edge) *inflight {
 	}
 	b.res.Stats.SpecBatches++
 	b.res.Stats.SpecQueries += int64(len(batch))
+	b.emitPhase(PhaseInfo{
+		Phase:       PhaseBatchSpeculate,
+		Batch:       int(b.res.Stats.SpecBatches) - 1,
+		Edges:       len(batch),
+		Kept:        len(b.res.Kept),
+		WitnessHits: b.live.WitnessHits(),
+	})
 	return fl
 }
 
@@ -386,6 +393,16 @@ func (b *builder) commitInflight(fl *inflight) error {
 		pending, err = b.respeculate(fl, pending)
 	}
 	b.pendingBuf = pending[:0]
+	if err == nil {
+		b.emitPhase(PhaseInfo{
+			Phase:       PhaseBatchCommit,
+			Batch:       b.committedBatches,
+			Edges:       len(fl.edges),
+			Kept:        len(b.res.Kept),
+			WitnessHits: b.live.WitnessHits(),
+		})
+		b.committedBatches++
+	}
 	return err
 }
 
@@ -504,5 +521,14 @@ func (b *builder) respeculate(fl *inflight, pending []int) ([]int, error) {
 	}
 	// The unqueried tail stays pending as-is (append on the shared backing
 	// array only ever copies forward, so the in-place filter above is safe).
-	return append(out, tail...), nil
+	out = append(out, tail...)
+	b.emitPhase(PhaseInfo{
+		Phase:       PhaseRespecRound,
+		Batch:       b.committedBatches,
+		Edges:       len(head),
+		Kept:        len(b.res.Kept),
+		Pending:     len(out),
+		WitnessHits: b.live.WitnessHits(),
+	})
+	return out, nil
 }

@@ -26,6 +26,7 @@ package fault
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/ftspanner/ftspanner/internal/bitset"
 	"github.com/ftspanner/ftspanner/internal/graph"
@@ -85,7 +86,21 @@ type Options struct {
 	// (the greedy adds edges between queries); set this to the maximum edge
 	// ID it will ever hold. Zero means the graph's current edge count.
 	EdgeCapacity int
+	// ObserveQuery, if non-nil, receives the wall-clock latency of a sampled
+	// subset of FindFaultSet queries (one in querySampleEvery, so the two
+	// time.Now calls stay amortized well under the cost of a single bounded
+	// Dijkstra). The greedy's worker oracles all carry the same options, so
+	// the hook MUST be safe for concurrent use; ftserve feeds a concurrent
+	// histogram. Hinted queries answered purely by witness revalidation are
+	// not sampled — they are one Dijkstra by construction, and including
+	// them would make the distribution bimodal in a way that tracks cache
+	// luck, not search cost.
+	ObserveQuery func(d time.Duration)
 }
+
+// querySampleEvery is the ObserveQuery sampling stride: every n-th
+// FindFaultSet call is timed.
+const querySampleEvery = 8
 
 // Witness cache tuning. The cache is consulted only after the packing bound
 // has failed to refute the query, i.e. exactly when the exponential branching
@@ -271,6 +286,9 @@ func (o *Oracle) FindFaultSet(u, v int, bound float64, budget int) ([]int, bool,
 		return nil, false, fmt.Errorf("fault: graph grew past EdgeCapacity %d", o.forbiddenE.Cap())
 	}
 	o.calls++
+	if o.opts.ObserveQuery != nil && o.calls%querySampleEvery == 0 {
+		defer func(start time.Time) { o.opts.ObserveQuery(time.Since(start)) }(time.Now())
+	}
 	o.forbiddenV.Clear()
 	o.forbiddenE.Clear()
 	o.chosen = o.chosen[:0]

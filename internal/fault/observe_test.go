@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/gen"
+)
+
+// TestObserveQuerySampling checks the latency hook's contract: roughly one
+// sample per querySampleEvery calls, positive durations, and identical
+// query answers with and without the hook.
+func TestObserveQuerySampling(t *testing.T) {
+	g, err := gen.ConnectedGNM(40, 300, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewOracle(g, Vertices, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []time.Duration
+	observed, err := NewOracle(g, Vertices, Options{
+		ObserveQuery: func(d time.Duration) { samples = append(samples, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const queries = 100
+	for i := 0; i < queries; i++ {
+		e := g.Edge(i % g.NumEdges())
+		w1, ok1, err1 := plain.FindFaultSet(e.U, e.V, 3*e.Weight, 1)
+		w2, ok2, err2 := observed.FindFaultSet(e.U, e.V, 3*e.Weight, 1)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %d: %v / %v", i, err1, err2)
+		}
+		if ok1 != ok2 || len(w1) != len(w2) {
+			t.Fatalf("query %d: hook changed the answer (%v/%v vs %v/%v)", i, ok1, w1, ok2, w2)
+		}
+	}
+	want := queries / querySampleEvery
+	if len(samples) != want {
+		t.Fatalf("got %d samples for %d queries, want %d (stride %d)", len(samples), queries, want, querySampleEvery)
+	}
+	for i, d := range samples {
+		if d < 0 {
+			t.Fatalf("sample %d negative: %v", i, d)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package obs is ftserve's zero-dependency observability toolkit: a
+// log-bucketed latency histogram with quantile estimation (histogram.go) and
+// a bounded per-job span recorder (trace.go), modeled on the tracer/profiler
+// split of production tracing libraries but small enough to live in-process
+// with no wire protocol. The service threads one Trace through each job's
+// lifecycle and aggregates durations into Histograms surfaced by /metrics;
+// ftbench reuses the same Summary schema so recorded benchmarks and the live
+// endpoint speak one language.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: HDR-style log buckets with subCount linear
+// sub-buckets per octave. Values (nanoseconds) below subCount are recorded
+// exactly; above, a value v with 2^k <= v < 2^(k+1) lands in the sub-bucket
+// holding its top subBits+1 significand bits, so every bucket's width is at
+// most 1/subCount of its lower bound. That makes any upper-bound quantile
+// estimate overshoot the true sample by strictly less than a factor of
+// 1 + 1/subCount (12.5% relative error at subBits = 3... we use 5 → 3.125%),
+// which the tests pin.
+const (
+	subBits  = 5
+	subCount = 1 << subBits // exact range and per-octave resolution
+
+	// numBuckets covers every non-negative int64: the largest index is
+	// reached at v = 2^63-1, whose octave is k = 62.
+	numBuckets = (62 - subBits + 2) * subCount
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // 2^k <= v < 2^(k+1), k >= subBits
+	m := v >> uint(k-subBits)      // top significand bits: subCount <= m < 2*subCount
+	return (k-subBits)*subCount + int(m)
+}
+
+// bucketUpper returns the largest value mapped to bucket idx — the
+// histogram's quantile estimate for ranks landing in it.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	shift := uint(idx/subCount - 1)
+	m := int64(subCount + idx%subCount)
+	return (m+1)<<shift - 1
+}
+
+// Histogram is a concurrent log-bucketed latency histogram. Record is a few
+// atomic adds with no locks, safe from any number of goroutines (build
+// workers, oracle pools, HTTP handlers); quantile reads take a point-in-time
+// copy of the buckets. The zero value is NOT ready; use NewHistogram.
+type Histogram struct {
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, numBuckets)}
+}
+
+// Record adds one duration sample. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) { h.RecordNS(int64(d)) }
+
+// RecordNS adds one sample in nanoseconds.
+func (h *Histogram) RecordNS(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// QuantileNS returns the estimated q-quantile (0 <= q <= 1) in nanoseconds:
+// the upper bound of the bucket holding the rank-⌈q·count⌉ sample, so the
+// estimate never undershoots the true sample and overshoots by less than a
+// factor of 1 + 1/32. Returns 0 on an empty histogram.
+func (h *Histogram) QuantileNS(q float64) int64 {
+	var buckets [numBuckets]int64
+	total := h.snapshotInto(&buckets)
+	return clampToMax(quantileOf(&buckets, total, q), h.max.Load())
+}
+
+// clampToMax caps a bucket-upper-bound estimate at the exactly tracked
+// maximum sample: the top-ranked bucket's upper bound would otherwise
+// overshoot the true max (and report p99 > max in summaries).
+func clampToMax(est, max int64) int64 {
+	if est > max {
+		return max
+	}
+	return est
+}
+
+// snapshotInto copies the bucket counts and returns their sum — the
+// self-consistent total for rank arithmetic (h.count may be momentarily
+// ahead of a concurrent Record's bucket add).
+func (h *Histogram) snapshotInto(buckets *[numBuckets]int64) int64 {
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		buckets[i] = c
+		total += c
+	}
+	return total
+}
+
+func quantileOf(buckets *[numBuckets]int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := range buckets {
+		seen += buckets[i]
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// Summary is a histogram's wire form: sample count plus quantile estimates
+// in milliseconds. It is the one latency schema shared by GET /metrics and
+// the ftbench -benchjson trajectory (BENCH_PR<n>.json).
+type Summary struct {
+	Count int64 `json:"count"`
+	// P50/P90/P99 are upper-bound quantile estimates (relative error below
+	// 1/32, see Histogram).
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+	// MeanMS is the exact mean of all samples (sum/count, not bucketed).
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// Summarize returns the histogram's current Summary. All three quantiles
+// come from one bucket snapshot, so they are mutually consistent.
+func (h *Histogram) Summarize() Summary {
+	var buckets [numBuckets]int64
+	total := h.snapshotInto(&buckets)
+	s := Summary{Count: total}
+	if total == 0 {
+		return s
+	}
+	const ms = float64(time.Millisecond)
+	mx := h.max.Load()
+	s.P50MS = float64(clampToMax(quantileOf(&buckets, total, 0.50), mx)) / ms
+	s.P90MS = float64(clampToMax(quantileOf(&buckets, total, 0.90), mx)) / ms
+	s.P99MS = float64(clampToMax(quantileOf(&buckets, total, 0.99), mx)) / ms
+	s.MaxMS = float64(mx) / ms
+	s.MeanMS = float64(h.sum.Load()) / float64(total) / ms
+	return s
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket layout: exact buckets below subCount,
+// then log buckets whose width never exceeds 1/subCount of their lower
+// bound, with every value mapping into a bucket whose range contains it.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact range: each value is its own bucket.
+	for v := int64(0); v < subCount; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if up := bucketUpper(int(v)); up != v {
+			t.Fatalf("bucketUpper(%d) = %d, want %d", v, up, v)
+		}
+	}
+	// Log range: spot-check structured values plus a sweep.
+	values := []int64{subCount, subCount + 1, 2*subCount - 1, 2 * subCount, 1000,
+		1 << 20, (1 << 20) + 12345, 1<<62 + 987654321, 1<<63 - 1}
+	for v := int64(subCount); v < 1<<14; v += 7 {
+		values = append(values, v)
+	}
+	for _, v := range values {
+		idx := bucketIndex(v)
+		up := bucketUpper(idx)
+		if v > up {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, idx, up)
+		}
+		if idx > 0 {
+			if lowerNeighbor := bucketUpper(idx - 1); v <= lowerNeighbor {
+				t.Fatalf("value %d should be in bucket %d or below (upper %d), got bucket %d",
+					v, idx-1, lowerNeighbor, idx)
+			}
+		}
+		// Width bound: (upper - lower + 1) / lower <= 1/subCount.
+		lower := bucketUpper(idx-1) + 1
+		if width := up - lower + 1; width*subCount > lower {
+			t.Fatalf("bucket %d [%d,%d] wider than lower/%d", idx, lower, up, subCount)
+		}
+	}
+	// Indexes are monotone and within numBuckets.
+	if got := bucketIndex(1<<63 - 1); got >= numBuckets {
+		t.Fatalf("max value bucket %d out of range %d", got, numBuckets)
+	}
+}
+
+// TestQuantileErrorBound draws random samples, compares every estimated
+// quantile against the true order statistic, and checks the documented
+// guarantee: estimate >= true sample, and estimate < true*(1 + 1/subCount)
+// (exactly equal below subCount).
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mix scales: sub-µs to ~100ms, the range real latencies span.
+		v := int64(rng.ExpFloat64() * float64(uint64(1)<<uint(10+rng.Intn(18))))
+		samples = append(samples, v)
+		h.RecordNS(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		rank := int(q*float64(len(samples)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		truth := samples[rank-1]
+		got := h.QuantileNS(q)
+		if got < truth {
+			t.Errorf("q=%.2f: estimate %d undershoots true sample %d", q, got, truth)
+		}
+		// Upper bound: strictly inside the next 1/subCount step (+1 covers
+		// the integer grid at tiny values).
+		if limit := truth + truth/subCount + 1; got > limit {
+			t.Errorf("q=%.2f: estimate %d exceeds error bound %d (true %d)", q, got, limit, truth)
+		}
+	}
+}
+
+func TestHistogramEmptyAndSummary(t *testing.T) {
+	h := NewHistogram()
+	if got := h.QuantileNS(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	if s := h.Summarize(); s.Count != 0 || s.P99MS != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	h.Record(2 * time.Millisecond)
+	h.Record(4 * time.Millisecond)
+	h.Record(-time.Second) // clamps to 0
+	s := h.Summarize()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.P50MS < 1.9 || s.P50MS > 2.2 {
+		t.Fatalf("p50 = %v ms, want ~2", s.P50MS)
+	}
+	if s.MaxMS < 3.9 || s.MaxMS > 4.1 {
+		t.Fatalf("max = %v ms, want ~4", s.MaxMS)
+	}
+	if s.MeanMS <= 0 || s.MeanMS > 2.1 {
+		t.Fatalf("mean = %v ms, want in (0, 2.1]", s.MeanMS)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines
+// (run under -race in CI) and checks no sample is lost.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.RecordNS(rng.Int63n(1 << 30))
+				if i%64 == 0 {
+					_ = h.Summarize() // concurrent reads race-checked too
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	s := h.Summarize()
+	if s.Count != goroutines*perG {
+		t.Fatalf("summary count = %d, want %d", s.Count, goroutines*perG)
+	}
+	if s.P50MS > s.P90MS || s.P90MS > s.P99MS || s.P99MS > s.MaxMS {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Bounds on a trace's memory: a runaway build (thousands of speculative
+// batches, millions of progress ticks) must not grow a job's trace without
+// limit. Overflow is counted, never silently lost.
+const (
+	// MaxSpans bounds the spans per trace, root included.
+	MaxSpans = 64
+	// MaxEventsPerSpan bounds the point events attached to one span.
+	MaxEventsPerSpan = 256
+)
+
+// Attr is one key/value annotation on a span or event. Values are int64 —
+// every attribute this system records is a count, an ID, or a duration, and
+// a closed type keeps snapshots allocation-cheap and JSON stable.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Trace records one job's lifecycle as a tree of spans. A Trace is written
+// by at most a couple of goroutines (submitter, worker) and read by HTTP
+// handlers, so one mutex covers all state. The zero value is not ready; use
+// NewTrace.
+type Trace struct {
+	mu           sync.Mutex
+	id           string
+	start        time.Time
+	spans        []span
+	droppedSpans int
+}
+
+// span is a trace's internal span record; indexes into Trace.spans are the
+// span identities (parent pointers survive slice growth).
+type span struct {
+	name          string
+	parent        int // index into spans; -1 for the root
+	start         time.Time
+	end           time.Time // zero while the span is open
+	attrs         []Attr
+	events        []spanEvent
+	droppedEvents int
+}
+
+type spanEvent struct {
+	name  string
+	at    time.Time
+	attrs []Attr
+}
+
+// Span is a handle onto one span of a trace. The zero Span is a valid no-op
+// (every method nil-checks), which is how span-count overflow degrades:
+// callers keep annotating, nothing records.
+type Span struct {
+	t   *Trace
+	idx int
+}
+
+// NewTrace starts a trace whose root span has the given name; the root opens
+// immediately.
+func NewTrace(id, rootName string) *Trace {
+	now := time.Now()
+	return &Trace{
+		id:    id,
+		start: now,
+		spans: []span{{name: rootName, parent: -1, start: now}},
+	}
+}
+
+// Root returns the root span's handle.
+func (t *Trace) Root() Span { return Span{t: t, idx: 0} }
+
+// StartSpan opens a child span under s. When the trace is at MaxSpans the
+// drop is counted and a no-op handle returned.
+func (s Span) StartSpan(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= MaxSpans {
+		t.droppedSpans++
+		return Span{}
+	}
+	t.spans = append(t.spans, span{name: name, parent: s.idx, start: time.Now()})
+	return Span{t: t, idx: len(t.spans) - 1}
+}
+
+// End closes the span. Double-End keeps the first end time.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	sp := &s.t.spans[s.idx]
+	if sp.end.IsZero() {
+		sp.end = time.Now()
+	}
+}
+
+// SetAttr sets a key on the span, overwriting an existing value.
+func (s Span) SetAttr(key string, value int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	sp := &s.t.spans[s.idx]
+	for i := range sp.attrs {
+		if sp.attrs[i].Key == key {
+			sp.attrs[i].Value = value
+			return
+		}
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+}
+
+// Event appends a point-in-time event to the span. Beyond MaxEventsPerSpan
+// the drop is counted and the event discarded — bounded traces are the
+// contract that lets one live per job.
+func (s Span) Event(name string, attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	sp := &s.t.spans[s.idx]
+	if len(sp.events) >= MaxEventsPerSpan {
+		sp.droppedEvents++
+		return
+	}
+	var copied []Attr
+	if len(attrs) > 0 {
+		copied = append(copied, attrs...)
+	}
+	sp.events = append(sp.events, spanEvent{name: name, at: time.Now(), attrs: copied})
+}
+
+// EventSnapshot is one span event in a trace snapshot.
+type EventSnapshot struct {
+	Name string `json:"name"`
+	// OffsetMS is the event time relative to the trace start.
+	OffsetMS float64 `json:"offset_ms"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+}
+
+// SpanSnapshot is one span (and its subtree) in a trace snapshot.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// StartOffsetMS is the span start relative to the trace start.
+	StartOffsetMS float64 `json:"start_offset_ms"`
+	// DurationMS is end-start; for a still-open span it is the duration so
+	// far and Open is true.
+	DurationMS    float64         `json:"duration_ms"`
+	Open          bool            `json:"open,omitempty"`
+	Attrs         []Attr          `json:"attrs,omitempty"`
+	Events        []EventSnapshot `json:"events,omitempty"`
+	DroppedEvents int             `json:"dropped_events,omitempty"`
+	Children      []SpanSnapshot  `json:"children,omitempty"`
+}
+
+// TraceSnapshot is a trace's point-in-time JSON form: the span tree rooted
+// at the job span. It is what GET /v1/jobs/{id}/trace returns.
+type TraceSnapshot struct {
+	ID           string       `json:"id"`
+	Start        time.Time    `json:"start"`
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	Root         SpanSnapshot `json:"root"`
+}
+
+// Snapshot renders the trace as a span tree. Safe to call while the trace is
+// still being written; open spans report their duration so far.
+func (t *Trace) Snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	const ms = float64(time.Millisecond)
+
+	// Children in index order: spans are appended in start order, so each
+	// child list comes out chronological.
+	nodes := make([]SpanSnapshot, len(t.spans))
+	for i, sp := range t.spans {
+		end, open := sp.end, false
+		if end.IsZero() {
+			end, open = now, true
+		}
+		node := SpanSnapshot{
+			Name:          sp.name,
+			StartOffsetMS: float64(sp.start.Sub(t.start)) / ms,
+			DurationMS:    float64(end.Sub(sp.start)) / ms,
+			Open:          open,
+			DroppedEvents: sp.droppedEvents,
+		}
+		if len(sp.attrs) > 0 {
+			node.Attrs = append([]Attr(nil), sp.attrs...)
+		}
+		for _, ev := range sp.events {
+			node.Events = append(node.Events, EventSnapshot{
+				Name:     ev.name,
+				OffsetMS: float64(ev.at.Sub(t.start)) / ms,
+				Attrs:    ev.attrs,
+			})
+		}
+		nodes[i] = node
+	}
+	// Attach children bottom-up: every span's parent has a smaller index, so
+	// a reverse walk sees each subtree completed before linking it upward.
+	for i := len(nodes) - 1; i >= 1; i-- {
+		p := t.spans[i].parent
+		nodes[p].Children = append([]SpanSnapshot{nodes[i]}, nodes[p].Children...)
+	}
+	return TraceSnapshot{ID: t.id, Start: t.start, DroppedSpans: t.droppedSpans, Root: nodes[0]}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("j1", "job")
+	root := tr.Root()
+	q := root.StartSpan("queue-wait")
+	time.Sleep(time.Millisecond)
+	q.End()
+	b := root.StartSpan("build")
+	b.SetAttr("edges", 800)
+	b.SetAttr("edges", 900) // overwrite, not duplicate
+	b.Event("batch-commit", Attr{Key: "batch", Value: 1}, Attr{Key: "kept", Value: 12})
+	b.Event("respec-round", Attr{Key: "pending", Value: 3})
+	b.End()
+	p := root.StartSpan("persist")
+	p.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if snap.ID != "j1" || snap.Root.Name != "job" {
+		t.Fatalf("snapshot root = %q/%q", snap.ID, snap.Root.Name)
+	}
+	if len(snap.Root.Children) != 3 {
+		t.Fatalf("root has %d children, want 3", len(snap.Root.Children))
+	}
+	names := []string{snap.Root.Children[0].Name, snap.Root.Children[1].Name, snap.Root.Children[2].Name}
+	if names[0] != "queue-wait" || names[1] != "build" || names[2] != "persist" {
+		t.Fatalf("children order = %v", names)
+	}
+	build := snap.Root.Children[1]
+	if len(build.Attrs) != 1 || build.Attrs[0] != (Attr{Key: "edges", Value: 900}) {
+		t.Fatalf("build attrs = %v", build.Attrs)
+	}
+	if len(build.Events) != 2 || build.Events[0].Name != "batch-commit" {
+		t.Fatalf("build events = %v", build.Events)
+	}
+	if snap.Root.Open {
+		t.Fatal("root should be closed")
+	}
+	// Root covers its children: duration >= each child's offset+duration.
+	for _, c := range snap.Root.Children {
+		if end := c.StartOffsetMS + c.DurationMS; end > snap.Root.StartOffsetMS+snap.Root.DurationMS+0.5 {
+			t.Fatalf("child %s ends at %v ms, beyond root end", c.Name, end)
+		}
+	}
+	// The snapshot must be JSON-encodable (it is the HTTP response body).
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(raw), `"batch-commit"`) {
+		t.Fatalf("JSON lost events: %s", raw)
+	}
+}
+
+// TestTraceBounded locks the memory contract: span and event counts stay
+// within MaxSpans/MaxEventsPerSpan however long the build runs, with drops
+// counted, and overflowed span handles degrade to harmless no-ops.
+func TestTraceBounded(t *testing.T) {
+	tr := NewTrace("j2", "job")
+	root := tr.Root()
+	var last Span
+	for i := 0; i < MaxSpans+50; i++ {
+		last = root.StartSpan("child")
+	}
+	// The overflowed handle must be inert.
+	last.SetAttr("x", 1)
+	last.Event("y")
+	last.End()
+	if sub := last.StartSpan("z"); sub.t != nil {
+		t.Fatal("overflowed span spawned a live child")
+	}
+
+	build := tr.Root() // root still live; flood its events
+	for i := 0; i < MaxEventsPerSpan+100; i++ {
+		build.Event("tick", Attr{Key: "i", Value: int64(i)})
+	}
+	snap := tr.Snapshot()
+	total := 1 + len(snap.Root.Children)
+	if total > MaxSpans {
+		t.Fatalf("%d spans recorded, over bound %d", total, MaxSpans)
+	}
+	if snap.DroppedSpans != 51 {
+		t.Fatalf("dropped spans = %d, want 51", snap.DroppedSpans)
+	}
+	if len(snap.Root.Events) != MaxEventsPerSpan {
+		t.Fatalf("%d events recorded, want bound %d", len(snap.Root.Events), MaxEventsPerSpan)
+	}
+	if snap.Root.DroppedEvents != 100 {
+		t.Fatalf("dropped events = %d, want 100", snap.Root.DroppedEvents)
+	}
+}
+
+// TestTraceConcurrentSnapshot reads snapshots while spans and events are
+// still being written (the HTTP handler vs worker interleaving; run under
+// -race in CI).
+func TestTraceConcurrentSnapshot(t *testing.T) {
+	tr := NewTrace("j3", "job")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp := root.StartSpan("work")
+			sp.Event("e", Attr{Key: "i", Value: int64(i)})
+			sp.End()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap := tr.Snapshot()
+		if !snap.Root.Open {
+			t.Error("root closed early")
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	root.End()
+	if snap := tr.Snapshot(); snap.Root.Open {
+		t.Fatal("root still open after End")
+	}
+}

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/core"
+)
+
+// pipeTuner adapts the speculative pipeline depth used for jobs that leave
+// Pipeline unset (0) while asking for Parallelism > 1. The engine's static
+// default is a fixed compromise; the tuner instead walks the depth between 1
+// and the configured cap using the feedback every completed build already
+// carries: the speculation waste ratio (spec_waste / spec_queries) and how
+// many re-speculation rounds each batch needed. Low waste means snapshots
+// are staying fresh and a deeper pipeline would hide more commit stall; high
+// waste or heavy re-speculation means depth is buying stale snapshots, so
+// back off. Jobs that set Pipeline explicitly bypass the tuner entirely.
+type pipeTuner struct {
+	mu    sync.Mutex
+	depth int
+	max   int
+}
+
+// Waste-ratio thresholds: below the low-water mark the pipeline deepens,
+// above the high-water mark it shallows, in between it holds. The dead band
+// keeps the depth from oscillating on every build.
+const (
+	tunerWasteLow  = 0.05
+	tunerWasteHigh = 0.20
+	// tunerRoundsHigh is the re-speculation-rounds-per-batch level treated
+	// like high waste: even a good hit ratio is not worth depth if every
+	// batch needs multiple serial repair rounds.
+	tunerRoundsHigh = 1.5
+	// tunerStartDepth is where adaptation begins — the engine's own static
+	// default, so an untuned server behaves exactly as before until
+	// feedback arrives.
+	tunerStartDepth = 2
+)
+
+func newPipeTuner(max int) *pipeTuner {
+	if max < 1 {
+		max = 1
+	}
+	if max > core.MaxPipeline {
+		max = core.MaxPipeline
+	}
+	d := tunerStartDepth
+	if d > max {
+		d = max
+	}
+	return &pipeTuner{depth: d, max: max}
+}
+
+// depthNow returns the depth the next adaptive build should run with.
+func (t *pipeTuner) depthNow() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.depth
+}
+
+// observe feeds one completed build's speculation counters back into the
+// controller. Builds that never speculated (sequential, or too small to
+// batch) carry no signal and leave the depth alone.
+func (t *pipeTuner) observe(st core.Stats) {
+	if st.SpecQueries == 0 || st.SpecBatches == 0 {
+		return
+	}
+	waste := float64(st.SpecWaste) / float64(st.SpecQueries)
+	rounds := float64(st.SpecRounds) / float64(st.SpecBatches)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case waste > tunerWasteHigh || rounds > tunerRoundsHigh:
+		if t.depth > 1 {
+			t.depth--
+		}
+	case waste < tunerWasteLow:
+		if t.depth < t.max {
+			t.depth++
+		}
+	}
+}
+
+// shedWindow is how many recent per-class queue waits the shedder keeps; the
+// p90 over this ring is the admission signal.
+const shedWindow = 64
+
+// shedMinSamples is the fewest observed waits before the ring's p90 is
+// trusted; below it only the live head-of-line age (which needs no history)
+// can shed.
+const shedMinSamples = 8
+
+// waitShedder turns observed queue waits into earlier backpressure: when a
+// class's recent p90 wait (or its current head-of-line age) exceeds the
+// configured budget, new submissions to that class are refused with 429
+// before they join a queue they would only age in. A zero budget disables
+// shedding. The per-class queue caps still apply; the shedder fires earlier,
+// on latency rather than depth.
+type waitShedder struct {
+	budget time.Duration
+
+	mu    sync.Mutex
+	waits [numClasses][]time.Duration // ring, newest overwrites oldest
+	next  [numClasses]int
+}
+
+func newWaitShedder(budget time.Duration) *waitShedder {
+	return &waitShedder{budget: budget}
+}
+
+// observe records one dequeued job's queue wait for its class.
+func (ws *waitShedder) observe(c class, wait time.Duration) {
+	if ws.budget <= 0 {
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if len(ws.waits[c]) < shedWindow {
+		ws.waits[c] = append(ws.waits[c], wait)
+		return
+	}
+	ws.waits[c][ws.next[c]] = wait
+	ws.next[c] = (ws.next[c] + 1) % shedWindow
+}
+
+// p90 returns the class's 90th-percentile recent wait and whether enough
+// samples back it.
+func (ws *waitShedder) p90(c class) (time.Duration, bool) {
+	ws.mu.Lock()
+	n := len(ws.waits[c])
+	buf := append([]time.Duration(nil), ws.waits[c]...)
+	ws.mu.Unlock()
+	if n < shedMinSamples {
+		return 0, false
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(n*9)/10-1], true
+}
+
+// shouldShed reports whether a new submission to class c should be refused,
+// given the class's current head-of-line age. Either signal suffices: a p90
+// over budget says the recent past was too slow, a head older than the
+// budget says the present already is.
+func (ws *waitShedder) shouldShed(c class, headAge time.Duration) bool {
+	if ws.budget <= 0 {
+		return false
+	}
+	if headAge > ws.budget {
+		return true
+	}
+	if p, ok := ws.p90(c); ok && p > ws.budget {
+		return true
+	}
+	return false
+}

@@ -6,12 +6,14 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"time"
 
 	"github.com/ftspanner/ftspanner/internal/baseline"
 	"github.com/ftspanner/ftspanner/internal/core"
 	"github.com/ftspanner/ftspanner/internal/fault"
 	"github.com/ftspanner/ftspanner/internal/gen"
 	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/obs"
 )
 
 // maxGeneratedSize caps generator parameters so a single request cannot ask
@@ -184,8 +186,11 @@ func cacheKeyFor(spec JobSpec, g *graph.Graph) CacheKey {
 
 // build runs the job's algorithm to completion, reporting progress and
 // honoring ctx through the core Progress hook where the algorithm supports
-// it. It is called on a worker goroutine.
-func build(ctx context.Context, job *Job) (*buildResult, error) {
+// it. It is called on a worker goroutine. Observability rides along: oracle
+// query latencies feed the sampled histogram, build-phase boundaries become
+// events on the job's build span, and greedy jobs that asked for
+// parallelism without pinning a pipeline depth get the tuner's current one.
+func (s *Server) build(ctx context.Context, job *Job) (*buildResult, error) {
 	spec := job.spec
 	mode, err := parseMode(spec.Mode)
 	if err != nil {
@@ -200,13 +205,45 @@ func build(ctx context.Context, job *Job) (*buildResult, error) {
 	}
 	switch spec.Algorithm {
 	case AlgoGreedy, AlgoConservative:
+		job.mu.Lock()
+		span := job.buildSpan
+		job.mu.Unlock()
+		pipeline := spec.Pipeline
+		if spec.Pipeline == 0 && spec.Parallelism > 1 && spec.Algorithm == AlgoGreedy {
+			// Adaptive mode: an unset depth means "server's choice", and the
+			// server's choice is whatever the waste-feedback tuner currently
+			// recommends. Determinism is unaffected — the kept-edge set is
+			// identical at every depth.
+			pipeline = s.tuner.depthNow()
+			span.SetAttr("adaptive_pipeline", int64(pipeline))
+		}
 		opts := core.Options{
 			Stretch:     spec.Stretch,
 			Faults:      spec.Faults,
 			Mode:        mode,
 			Progress:    hook,
 			Parallelism: spec.Parallelism,
-			Pipeline:    spec.Pipeline,
+			Pipeline:    pipeline,
+			Oracle: fault.Options{
+				ObserveQuery: func(d time.Duration) { s.lat.oracleQuery.Record(d) },
+			},
+			Phase: func(info core.PhaseInfo) {
+				switch info.Phase {
+				case core.PhaseBatchSpeculate:
+					span.Event(info.Phase,
+						obs.Attr{Key: "batch", Value: int64(info.Batch)},
+						obs.Attr{Key: "edges", Value: int64(info.Edges)})
+				case core.PhaseBatchCommit:
+					span.Event(info.Phase,
+						obs.Attr{Key: "batch", Value: int64(info.Batch)},
+						obs.Attr{Key: "kept", Value: int64(info.Kept)},
+						obs.Attr{Key: "witness_hits", Value: info.WitnessHits})
+				case core.PhaseRespecRound:
+					span.Event(info.Phase,
+						obs.Attr{Key: "edges", Value: int64(info.Edges)},
+						obs.Attr{Key: "pending", Value: int64(info.Pending)})
+				}
+			},
 		}
 		var res *core.Result
 		if spec.Algorithm == AlgoGreedy {

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/ftspanner/ftspanner/internal/verify"
 )
@@ -21,9 +22,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/spanner", s.handleSpanner)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -137,6 +140,13 @@ type statsBody struct {
 	// for sequential builds).
 	PipelineDepth int     `json:"pipeline_depth,omitempty"`
 	DurationMS    float64 `json:"duration_ms"`
+	// QueueMS/BuildMS/PersistMS are this job's lifecycle-phase durations as
+	// this server observed them: submission-to-worker wait, worker
+	// wall-clock, and the durable-store write. All zero for cache hits
+	// (DurationMS still reports the original build's engine time).
+	QueueMS   float64 `json:"queue_ms"`
+	BuildMS   float64 `json:"build_ms"`
+	PersistMS float64 `json:"persist_ms,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -185,6 +195,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			SpecHitRate:      st.SpecHitRate(),
 			PipelineDepth:    st.PipelineDepth,
 			DurationMS:       float64(st.Duration.Microseconds()) / 1000,
+			QueueMS:          float64(job.queueWait.Microseconds()) / 1000,
+			BuildMS:          float64(job.buildDur.Microseconds()) / 1000,
+			PersistMS:        float64(job.persistDur.Microseconds()) / 1000,
 		}
 	}
 	job.mu.Unlock()
@@ -359,4 +372,64 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleTrace answers GET /v1/jobs/{id}/trace with the job's lifecycle span
+// tree. A job whose trace aged out (TraceRetention < JobRetention) answers
+// 404 while its status endpoint still works.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	snap := job.traceSnapshot()
+	if snap == nil {
+		writeError(w, http.StatusNotFound, "no trace for job %q (expired)", job.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// healthResponse answers GET /healthz.
+type healthResponse struct {
+	Status        string  `json:"status"` // "ok" or "unhealthy"
+	Version       string  `json:"version,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Store is "ok", "disabled", or the write-probe error.
+	Store string `json:"store"`
+	// Workers is the configured pool size; zero-valued Error plus status
+	// "ok" means the pool is accepting work.
+	Workers int    `json:"workers"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while the worker pool
+// is accepting jobs and the durable store (if any) passes a write probe,
+// 503 otherwise.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:        "ok",
+		Version:       s.cfg.Version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Store:         "disabled",
+		Workers:       s.cfg.Workers,
+	}
+	if s.ctx.Err() != nil {
+		resp.Status = "unhealthy"
+		resp.Error = "server shutting down"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	if s.store != nil {
+		if err := s.store.Healthy(); err != nil {
+			resp.Status = "unhealthy"
+			resp.Store = "unwritable"
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+		resp.Store = "ok"
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ftspanner/ftspanner/internal/core"
 	"github.com/ftspanner/ftspanner/internal/graph"
+	"github.com/ftspanner/ftspanner/internal/obs"
 )
 
 // State is the lifecycle state of a job.
@@ -139,6 +140,59 @@ type Job struct {
 	fromStore bool
 	doneAt    time.Time     // when the job entered a terminal state; GC clock
 	done      chan struct{} // closed on entering a terminal state
+
+	// trace is the job's lifecycle trace (submit → queue-wait → build →
+	// persist). Nil after the janitor drops it (trace retention can be
+	// shorter than job retention) — handlers must tolerate that. The Trace
+	// has its own lock; the span handles below are written under j.mu.
+	trace     *obs.Trace
+	queueSpan obs.Span
+	buildSpan obs.Span
+	// Phase durations for the status endpoint, recorded as each lifecycle
+	// stage completes.
+	queueWait  time.Duration
+	buildDur   time.Duration
+	persistDur time.Duration
+	startedAt  time.Time // when a worker began the build
+}
+
+// startTrace opens the job's lifecycle trace. For queued jobs the queue-wait
+// span opens immediately; born-done cache hits get a closed root annotated
+// with the hit instead (there is no queue or build to trace). Called before
+// the job is published, so no lock is needed.
+func (j *Job) startTrace(cached, fromStore bool) {
+	j.trace = obs.NewTrace(j.id, "job")
+	root := j.trace.Root()
+	if !cached {
+		j.queueSpan = root.StartSpan("queue-wait")
+		return
+	}
+	root.SetAttr("cached", 1)
+	if fromStore {
+		root.SetAttr("from_store", 1)
+	}
+	root.End()
+}
+
+// traceSnapshot returns the job's trace, or nil when it was never started or
+// already dropped by the janitor.
+func (j *Job) traceSnapshot() *obs.TraceSnapshot {
+	j.mu.Lock()
+	tr := j.trace
+	j.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	snap := tr.Snapshot()
+	return &snap
+}
+
+// dropTrace releases the job's trace (retention sweep).
+func (j *Job) dropTrace() {
+	j.mu.Lock()
+	j.trace = nil
+	j.queueSpan, j.buildSpan = obs.Span{}, obs.Span{}
+	j.mu.Unlock()
 }
 
 func newJob(id string, key CacheKey, spec JobSpec, g *graph.Graph) *Job {

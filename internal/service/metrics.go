@@ -35,6 +35,7 @@ type metrics struct {
 	// Per-priority-class scheduling counters, indexed by class.
 	dequeued [numClasses]atomic.Int64 // jobs handed to a worker from this class
 	rejected [numClasses]atomic.Int64 // submissions refused with 429 (class cap)
+	shed     [numClasses]atomic.Int64 // submissions refused with 429 (wait budget)
 
 	buildsInFlight atomic.Int64 // builds currently occupying a worker slot
 	maxInFlight    atomic.Int64 // high-water mark of buildsInFlight
@@ -79,11 +80,24 @@ type QueueClassSnapshot struct {
 	// submissions bounced off its cap.
 	Dequeued int64 `json:"dequeued"`
 	Rejected int64 `json:"rejected"`
+	// Shed counts submissions refused by the wait-budget load shedder (a
+	// 429 issued on observed latency, before the depth cap would fire).
+	Shed int64 `json:"shed"`
 }
 
 // MetricsSnapshot is the GET /metrics response.
 type MetricsSnapshot struct {
-	JobsSubmitted int64 `json:"jobs_submitted"`
+	// Version is the server's build stamp (Config.Version); UptimeSeconds
+	// is time since New.
+	Version       string  `json:"version,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	JobsSubmitted int64   `json:"jobs_submitted"`
+	// JobsDone/Failed/Cancelled are monotonic terminal-outcome counters —
+	// unlike the jobs_by_state gauge they survive janitor eviction, so
+	// rates computed from successive scrapes are meaningful.
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
 	// BuildsTotal counts builds actually dispatched to a worker — cache and
 	// store hits do not increment it, which is how the restart-warm tests
 	// prove no recomputation happened.
@@ -149,13 +163,29 @@ type MetricsSnapshot struct {
 	// many builds hold a slot right now and the most that ever did at once.
 	BuildsInFlight      int64 `json:"builds_in_flight"`
 	MaxConcurrentBuilds int64 `json:"max_concurrent_builds"`
+	// Latency carries p50/p90/p99/max/mean summaries of the server's
+	// log-bucketed histograms: queue wait per priority class, build and
+	// persist durations, store get/put, and sampled oracle queries.
+	Latency LatencySnapshot `json:"latency"`
+	// AdaptivePipelineDepth is the depth the tuner would hand the next
+	// adaptive build (jobs with parallelism > 1 and pipeline unset);
+	// AdaptivePipelineCap is its configured ceiling.
+	AdaptivePipelineDepth int `json:"adaptive_pipeline_depth"`
+	AdaptivePipelineCap   int `json:"adaptive_pipeline_cap"`
+	// WaitBudgetMS is the load-shedding latency budget (0 = shedding off).
+	WaitBudgetMS float64 `json:"wait_budget_ms"`
 }
 
 // Metrics returns a consistent point-in-time snapshot of the server's
 // counters and gauges.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
+		Version:       s.cfg.Version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
 		JobsSubmitted: s.met.jobsSubmitted.Load(),
+		JobsDone:      s.met.jobsDone.Load(),
+		JobsFailed:    s.met.jobsFailed.Load(),
+		JobsCancelled: s.met.jobsCancelled.Load(),
 		BuildsTotal:   s.met.buildsRun.Load(),
 		JobsByState:   make(map[State]int),
 		QueueCapacity: s.cfg.QueueDepth,
@@ -183,6 +213,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 
 		BuildsInFlight:      s.met.buildsInFlight.Load(),
 		MaxConcurrentBuilds: s.met.maxInFlight.Load(),
+
+		Latency:               s.lat.snapshot(),
+		AdaptivePipelineDepth: s.tuner.depthNow(),
+		AdaptivePipelineCap:   s.cfg.PipelineCap,
+		WaitBudgetMS:          float64(s.cfg.WaitBudget.Nanoseconds()) / 1e6,
 	}
 	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
 		snap.CacheHitRatio = float64(snap.CacheHits) / float64(total)
@@ -220,6 +255,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			Weight:      classWeights[c],
 			Dequeued:    s.met.dequeued[c].Load(),
 			Rejected:    s.met.rejected[c].Load(),
+			Shed:        s.met.shed[c].Load(),
 		}
 	}
 	for _, j := range s.jobs {

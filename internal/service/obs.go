@@ -1,0 +1,82 @@
+package service
+
+import (
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/obs"
+	"github.com/ftspanner/ftspanner/internal/store"
+)
+
+// latencies holds the server's log-bucketed latency histograms, one per
+// operation class the tentpole cares about: how long jobs wait per priority
+// class, how long builds and persists take, and how long the hot inner
+// operations (oracle fault-set queries, store reads/writes) run. All are
+// safe for concurrent recording and summarized in GET /metrics.
+type latencies struct {
+	queueWait   [numClasses]*obs.Histogram
+	build       *obs.Histogram
+	persist     *obs.Histogram
+	storeGet    *obs.Histogram
+	storePut    *obs.Histogram
+	oracleQuery *obs.Histogram
+}
+
+func newLatencies() *latencies {
+	l := &latencies{
+		build:       obs.NewHistogram(),
+		persist:     obs.NewHistogram(),
+		storeGet:    obs.NewHistogram(),
+		storePut:    obs.NewHistogram(),
+		oracleQuery: obs.NewHistogram(),
+	}
+	for c := range l.queueWait {
+		l.queueWait[c] = obs.NewHistogram()
+	}
+	return l
+}
+
+// storeObserver is the hook handed to store.SetObserver.
+func (l *latencies) storeObserver(op store.Op, d time.Duration) {
+	switch op {
+	case store.OpGet:
+		l.storeGet.Record(d)
+	case store.OpPut:
+		l.storePut.Record(d)
+	}
+}
+
+// LatencySnapshot is the latency block of GET /metrics: p50/p90/p99/max/mean
+// summaries of every histogram, in milliseconds. The same obs.Summary shape
+// is emitted by ftbench -benchjson, so dashboards read one schema.
+type LatencySnapshot struct {
+	// QueueWait is time from submission to a worker picking the job up,
+	// keyed by priority class.
+	QueueWait map[Priority]obs.Summary `json:"queue_wait"`
+	// Build is successful builds' wall-clock duration.
+	Build obs.Summary `json:"build"`
+	// Persist is the durable-store write at the end of a successful build
+	// (zero-count with the store disabled).
+	Persist obs.Summary `json:"persist"`
+	// StoreGet and StorePut are the disk tier's per-operation latencies,
+	// recorded by the store itself on every call.
+	StoreGet obs.Summary `json:"store_get"`
+	StorePut obs.Summary `json:"store_put"`
+	// OracleQuery is the sampled latency of fault-set oracle queries inside
+	// builds (1 in 8 queries is timed to keep overhead negligible).
+	OracleQuery obs.Summary `json:"oracle_query"`
+}
+
+func (l *latencies) snapshot() LatencySnapshot {
+	s := LatencySnapshot{
+		QueueWait:   make(map[Priority]obs.Summary, numClasses),
+		Build:       l.build.Summarize(),
+		Persist:     l.persist.Summarize(),
+		StoreGet:    l.storeGet.Summarize(),
+		StorePut:    l.storePut.Summarize(),
+		OracleQuery: l.oracleQuery.Summarize(),
+	}
+	for c := class(0); c < numClasses; c++ {
+		s.QueueWait[c.Priority()] = l.queueWait[c].Summarize()
+	}
+	return s
+}

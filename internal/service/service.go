@@ -70,11 +70,34 @@ type Config struct {
 	// result cache, so an evicted job's spanner is still one resubmission
 	// away.
 	JobRetention time.Duration
+	// TraceRetention bounds how long a terminal job's lifecycle trace stays
+	// readable at GET /v1/jobs/{id}/trace. Traces are the largest per-job
+	// in-memory artifact, so they may be dropped before the job itself: the
+	// janitor frees traces past this age while the job (status, stats)
+	// remains addressable until JobRetention lapses. Zero selects
+	// JobRetention (trace lives exactly as long as its job); negative
+	// disables early dropping.
+	TraceRetention time.Duration
+	// WaitBudget enables latency-based load shedding: when a priority
+	// class's recent p90 queue wait — or its current head-of-line age —
+	// exceeds this budget, new submissions to the class are refused with
+	// 429 and Retry-After instead of joining a queue they would only age
+	// in. Zero disables shedding (the per-class depth caps still apply).
+	WaitBudget time.Duration
+	// PipelineCap bounds the adaptive pipeline depth chosen for greedy jobs
+	// that ask for Parallelism > 1 but leave Pipeline unset: the server
+	// tunes the depth from observed speculation waste, never exceeding this
+	// cap (default 8, clamped to the engine maximum). Jobs that set
+	// Pipeline explicitly are never tuned.
+	PipelineCap int
+	// Version is an opaque build stamp reported in /metrics and /healthz.
+	Version string
 }
 
 const (
 	defaultJobRetention  = 15 * time.Minute
 	defaultStoreMaxBytes = 256 << 20
+	defaultPipelineCap   = 8
 )
 
 func (c *Config) applyDefaults() {
@@ -96,6 +119,15 @@ func (c *Config) applyDefaults() {
 	if c.StoreMaxBytes == 0 {
 		c.StoreMaxBytes = defaultStoreMaxBytes
 	}
+	if c.TraceRetention == 0 {
+		c.TraceRetention = c.JobRetention
+	}
+	if c.PipelineCap <= 0 {
+		c.PipelineCap = defaultPipelineCap
+	}
+	if c.PipelineCap > maxPipeline {
+		c.PipelineCap = maxPipeline
+	}
 	caps := make(map[Priority]int, numClasses)
 	for p := range classes {
 		if n := c.QueueCaps[p]; n > 0 {
@@ -115,6 +147,15 @@ type Server struct {
 	cache *lruCache
 	store *store.Store // nil when persistence is disabled
 	met   metrics
+
+	// Observability and adaptive control (this package's obs.go and
+	// adaptive.go): latency histograms for /metrics, the pipeline-depth
+	// tuner, the queue-wait load shedder, and the start time behind
+	// uptime_seconds.
+	lat     *latencies
+	tuner   *pipeTuner
+	shedder *waitShedder
+	started time.Time
 
 	// wake carries one token per enqueued job so idle workers notice new
 	// work; spurious tokens (for jobs cancelled while queued) just make a
@@ -146,31 +187,43 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		wake:   make(chan struct{}, cfg.QueueDepth),
-		cache:  newLRU(cfg.CacheEntries),
-		store:  st,
-		jobs:   make(map[string]*Job),
-		active: make(map[CacheKey]*Job),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:     cfg,
+		wake:    make(chan struct{}, cfg.QueueDepth),
+		cache:   newLRU(cfg.CacheEntries),
+		store:   st,
+		jobs:    make(map[string]*Job),
+		active:  make(map[CacheKey]*Job),
+		lat:     newLatencies(),
+		tuner:   newPipeTuner(cfg.PipelineCap),
+		shedder: newWaitShedder(cfg.WaitBudget),
+		started: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	if st != nil {
+		st.SetObserver(s.lat.storeObserver)
 	}
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	if cfg.JobRetention > 0 {
+	if cfg.JobRetention > 0 || cfg.TraceRetention > 0 {
 		s.wg.Add(1)
 		go s.janitor()
 	}
 	return s, nil
 }
 
-// janitor periodically evicts terminal jobs older than JobRetention.
+// janitor periodically evicts terminal jobs older than JobRetention and
+// drops traces older than TraceRetention.
 func (s *Server) janitor() {
 	defer s.wg.Done()
-	interval := s.cfg.JobRetention / 4
+	ret := s.cfg.JobRetention
+	if s.cfg.TraceRetention > 0 && (ret <= 0 || s.cfg.TraceRetention < ret) {
+		ret = s.cfg.TraceRetention
+	}
+	interval := ret / 4
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
@@ -191,20 +244,32 @@ func (s *Server) janitor() {
 
 // sweepExpired removes terminal jobs whose retention lapsed before now and
 // returns how many were evicted. Queued and running jobs are never touched.
+// Traces age out separately: a terminal job older than TraceRetention loses
+// its trace (the bulkiest per-job artifact) while the job itself stays
+// addressable until JobRetention lapses.
 func (s *Server) sweepExpired(now time.Time) int {
 	cutoff := now.Add(-s.cfg.JobRetention)
+	traceCutoff := now.Add(-s.cfg.TraceRetention)
 	evicted := 0
+	var dropTraces []*Job
 	s.mu.Lock()
 	for id, j := range s.jobs {
 		j.mu.Lock()
-		expired := j.state.Terminal() && !j.doneAt.IsZero() && j.doneAt.Before(cutoff)
+		terminal := j.state.Terminal() && !j.doneAt.IsZero()
+		expired := s.cfg.JobRetention > 0 && terminal && j.doneAt.Before(cutoff)
+		stale := s.cfg.TraceRetention > 0 && terminal && j.trace != nil && j.doneAt.Before(traceCutoff)
 		j.mu.Unlock()
 		if expired {
 			delete(s.jobs, id)
 			evicted++
+		} else if stale {
+			dropTraces = append(dropTraces, j)
 		}
 	}
 	s.mu.Unlock()
+	for _, j := range dropTraces {
+		j.dropTrace()
+	}
 	if evicted > 0 {
 		s.met.jobsEvicted.Add(int64(evicted))
 	}
@@ -270,7 +335,14 @@ func (s *Server) run(job *Job) {
 	}
 	job.cancel = cancel
 	job.setStateLocked(StateRunning, Event{})
+	job.queueSpan.End()
+	wait := time.Since(job.enqueuedAt)
+	job.queueWait = wait
+	job.startedAt = time.Now()
+	job.buildSpan = job.trace.Root().StartSpan("build")
 	job.mu.Unlock()
+	s.lat.queueWait[job.class].Record(wait)
+	s.shedder.observe(job.class, wait)
 	s.met.buildsRun.Add(1)
 	s.met.buildStarted()
 	defer s.met.buildFinished()
@@ -281,7 +353,7 @@ func (s *Server) run(job *Job) {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := build(ctx, job)
+		res, err := s.build(ctx, job)
 		ch <- outcome{res, err}
 	}()
 	select {
@@ -300,6 +372,13 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 	if job.state != StateRunning {
 		job.mu.Unlock()
 		return
+	}
+	job.buildSpan.End()
+	tr := job.trace
+	var buildDur time.Duration
+	if !job.startedAt.IsZero() {
+		buildDur = time.Since(job.startedAt)
+		job.buildDur = buildDur
 	}
 	switch {
 	case err == nil:
@@ -333,13 +412,26 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 		s.met.specRounds.Add(res.stats.SpecRounds)
 		s.met.specRequeries.Add(res.stats.SpecRequeries)
 		s.met.notePipelineDepth(res.stats.PipelineDepth)
+		s.lat.build.Record(buildDur)
+		s.tuner.observe(res.stats)
 		s.cache.Put(job.key, res)
+		pstart := time.Now()
+		ps := tr.Root().StartSpan("persist")
 		s.storePut(job.key, res)
+		ps.End()
+		if s.store != nil {
+			pd := time.Since(pstart)
+			s.lat.persist.Record(pd)
+			job.mu.Lock()
+			job.persistDur = pd
+			job.mu.Unlock()
+		}
 	case errors.Is(err, context.Canceled):
 		s.met.jobsCancelled.Add(1)
 	default:
 		s.met.jobsFailed.Add(1)
 	}
+	tr.Root().End()
 	s.dropActive(job)
 }
 
@@ -416,6 +508,7 @@ func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 	id := fmt.Sprintf("j%d", s.nextID+1)
 	if hit {
 		job := newJob(id, key, spec, res.input)
+		job.startTrace(true, fromStore)
 		job.mu.Lock()
 		job.result = res
 		job.cached = true
@@ -446,7 +539,21 @@ func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 			retryAfter: s.retryAfterLocked(cls),
 		}
 	}
+	// Latency-based shedding fires before the queue would: joining a class
+	// whose recent p90 wait (or live head-of-line age) already blows the
+	// budget just manufactures another late job, so refuse it now while the
+	// client can still back off.
+	if s.shedder.shouldShed(cls, s.queues.oldestAge(cls, time.Now())) {
+		s.met.shed[cls].Add(1)
+		return nil, false, &submitError{
+			status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("priority %q shedding load: recent queue wait exceeds budget %s",
+				cls.Priority(), s.cfg.WaitBudget),
+			retryAfter: s.retryAfterLocked(cls),
+		}
+	}
 	job = newJob(id, key, spec, g)
+	job.startTrace(false, false)
 	s.queues.push(job)
 	s.nextID++
 	s.jobs[id] = job
@@ -493,7 +600,14 @@ func (s *Server) cancelJob(job *Job) State {
 	switch job.state {
 	case StateQueued:
 		job.setStateLocked(StateCancelled, Event{})
+		job.queueSpan.End()
+		tr := job.trace
 		job.mu.Unlock()
+		if tr != nil {
+			root := tr.Root()
+			root.SetAttr("cancelled", 1)
+			root.End()
+		}
 		s.unqueue(job)
 		s.dropActive(job)
 		s.met.jobsCancelled.Add(1)

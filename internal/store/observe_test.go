@@ -1,0 +1,65 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserverSeesGetAndPut checks the latency observer contract: one
+// callback per Get (hit or miss) and per Put, with non-negative durations,
+// and that clearing the observer stops the callbacks.
+func TestObserverSeesGetAndPut(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), -1)
+	var mu sync.Mutex
+	counts := map[Op]int{}
+	s.SetObserver(func(op Op, d time.Duration) {
+		if d < 0 {
+			t.Errorf("%s latency negative: %v", op, d)
+		}
+		mu.Lock()
+		counts[op]++
+		mu.Unlock()
+	})
+
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(rec.Key); !ok {
+		t.Fatal("stored record missed")
+	}
+	if _, ok := s.Get("no-such-key"); ok {
+		t.Fatal("made-up key hit")
+	}
+	mu.Lock()
+	gets, puts := counts[OpGet], counts[OpPut]
+	mu.Unlock()
+	if puts != 1 || gets != 2 {
+		t.Fatalf("observer saw put=%d get=%d, want 1 and 2 (miss counts too)", puts, gets)
+	}
+
+	s.SetObserver(nil)
+	if _, ok := s.Get(rec.Key); !ok {
+		t.Fatal("record vanished")
+	}
+	mu.Lock()
+	after := counts[OpGet]
+	mu.Unlock()
+	if after != gets {
+		t.Fatalf("observer still firing after SetObserver(nil): get=%d", after)
+	}
+}
+
+// TestHealthy checks the write probe succeeds on a live store and leaves no
+// residue behind.
+func TestHealthy(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	if err := s.Healthy(); err != nil {
+		t.Fatalf("healthy store reported unhealthy: %v", err)
+	}
+	if files := dirFiles(t, dir, ""); len(files) != 0 {
+		t.Fatalf("health probe left residue: %v", files)
+	}
+}

@@ -56,6 +56,59 @@ type Store struct {
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// observer receives per-operation wall-clock latencies (SetObserver).
+	observer atomic.Pointer[func(Op, time.Duration)]
+}
+
+// Op names a store operation for the latency observer.
+type Op string
+
+// Observable store operations.
+const (
+	OpGet Op = "get"
+	OpPut Op = "put"
+)
+
+// SetObserver installs (or, with nil, removes) a hook receiving the
+// wall-clock latency of every Get and Put — disk I/O plus codec time, the
+// number an operator needs to see when the disk tier goes slow. The hook
+// must be safe for concurrent use; ftserve feeds concurrent histograms.
+func (s *Store) SetObserver(f func(op Op, d time.Duration)) {
+	if f == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&f)
+}
+
+// observe reports one finished operation to the observer, if any. Used as
+// `defer s.observe(op, time.Now())`.
+func (s *Store) observe(op Op, start time.Time) {
+	if p := s.observer.Load(); p != nil {
+		(*p)(op, time.Since(start))
+	}
+}
+
+// Healthy probes the store for liveness: the backing directory must exist
+// and accept a (tiny, immediately removed) write. The probe file carries
+// tmpExt so a crash mid-probe is cleaned up by the next Open like any
+// interrupted write.
+func (s *Store) Healthy() error {
+	f, err := os.CreateTemp(s.dir, "healthz"+tmpExt+"*")
+	if err != nil {
+		return fmt.Errorf("store: health probe: %w", err)
+	}
+	name := f.Name()
+	_, werr := f.WriteString("ok")
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	_ = os.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("store: health probe: %w", werr)
+	}
+	return nil
 }
 
 type fileEntry struct {
@@ -170,6 +223,7 @@ func fileName(key string) string {
 // decode to the same result, and a failed read only quarantines the file
 // if it was NOT rewritten in between (generation check).
 func (s *Store) Get(key string) (*Record, bool) {
+	defer s.observe(OpGet, time.Now())
 	name := fileName(key)
 	path := filepath.Join(s.dir, name)
 	s.mu.Lock()
@@ -225,6 +279,7 @@ func (s *Store) Get(key string) (*Record, bool) {
 // renamed over the final name, so readers and crash recovery only ever see
 // a complete record or none.
 func (s *Store) Put(rec *Record) error {
+	defer s.observe(OpPut, time.Now())
 	data := Encode(rec)
 	name := fileName(rec.Key)
 	final := filepath.Join(s.dir, name)
