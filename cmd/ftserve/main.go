@@ -9,7 +9,12 @@
 //	ftserve [-addr :8437] [-workers 4] [-queue 64] [-queue-caps high=32,normal=48,low=16]
 //	        [-cache 128] [-store-dir DIR] [-store-max-bytes 268435456]
 //	        [-max-body 8388608] [-retention 15m] [-trace-retention 0]
-//	        [-wait-budget 0] [-pipeline-cap 8] [-pprof addr]
+//	        [-wait-budget 0] [-pipeline-cap 8] [-drain-timeout 30s] [-pprof addr]
+//
+// On SIGINT/SIGTERM the server drains: new submissions get 503 with a
+// Retry-After estimate, queued jobs are cancelled, and running builds get
+// up to -drain-timeout to finish and persist before the process exits. A
+// second signal cancels the remaining builds immediately.
 //
 // See the repository README for the endpoint reference, curl examples, and
 // the profiling workflow behind the -pprof flag.
@@ -52,9 +57,10 @@ func buildVersion() string {
 
 // options is the parsed command line.
 type options struct {
-	addr      string
-	pprofAddr string
-	cfg       service.Config
+	addr         string
+	pprofAddr    string
+	drainTimeout time.Duration
+	cfg          service.Config
 }
 
 // parseQueueCaps parses the -queue-caps value: comma-separated
@@ -109,6 +115,8 @@ func parseArgs(args []string) (options, error) {
 		"queue-wait budget per priority class: when a class's recent p90 wait (or head-of-line age) exceeds it, submissions get 429 (0 disables shedding)")
 	fs.IntVar(&opts.cfg.PipelineCap, "pipeline-cap", 8,
 		"ceiling of the adaptive pipeline depth chosen for jobs with parallelism > 1 and pipeline unset")
+	fs.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second,
+		"how long a graceful shutdown (SIGINT/SIGTERM) waits for running builds to finish before cancelling them")
 	fs.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -127,6 +135,9 @@ func parseArgs(args []string) (options, error) {
 	}
 	if opts.cfg.WaitBudget < 0 {
 		return options{}, fmt.Errorf("wait-budget must be non-negative, got %v", opts.cfg.WaitBudget)
+	}
+	if opts.drainTimeout <= 0 {
+		return options{}, fmt.Errorf("drain-timeout must be positive, got %v", opts.drainTimeout)
 	}
 	caps, err := parseQueueCaps(queueCaps)
 	if err != nil {
@@ -163,13 +174,24 @@ func main() {
 		if errors.Is(err, flag.ErrHelp) {
 			return
 		}
-		log.Fatalf("ftserve: %v", err)
+		log.Printf("ftserve: %v", err)
+		os.Exit(2)
 	}
+	os.Exit(run(opts))
+}
 
+// run starts the service and the HTTP listener and blocks until shutdown.
+// It is the single exit path of the command: the service is always closed
+// before returning, so a listener error can no longer strand the worker
+// pool or leave the durable store open mid-write.
+func run(opts options) int {
 	svc, err := service.New(opts.cfg)
 	if err != nil {
-		log.Fatalf("ftserve: %v", err)
+		log.Printf("ftserve: %v", err)
+		return 1
 	}
+	defer svc.Close()
+
 	httpSrv := &http.Server{Addr: opts.addr, Handler: svc}
 
 	// Profiling is opt-in and served on its own listener so the debug
@@ -183,23 +205,61 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		log.Printf("ftserve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(shutdownCtx)
-	}()
-
 	if opts.cfg.StoreDir != "" {
 		log.Printf("ftserve: durable result store at %s (max %d bytes)", opts.cfg.StoreDir, opts.cfg.StoreMaxBytes)
 	}
 	log.Printf("ftserve: listening on %s (workers=%d queue=%d cache=%d)",
 		opts.addr, opts.cfg.Workers, opts.cfg.QueueDepth, opts.cfg.CacheEntries)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("ftserve: %v", err)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	// Buffered for two deliveries: the first signal starts the drain, the
+	// second cancels it.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("ftserve: %v", err)
+			return 1
+		}
+		return 0
+	case s := <-sig:
+		log.Printf("ftserve: %v: draining (up to %v; signal again to cancel running builds)", s, opts.drainTimeout)
 	}
-	svc.Close()
+
+	// Graceful drain: refuse new submissions (503 + Retry-After), cancel
+	// queued jobs, and give running builds until the timeout to finish and
+	// persist. A second signal force-cancels whatever is still running; the
+	// deferred Close still waits for those builds to record their terminal
+	// states before the store shuts.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), opts.drainTimeout)
+	defer cancelDrain()
+	go func() {
+		s := <-sig
+		log.Printf("ftserve: %v: cancelling in-flight builds", s)
+		cancelDrain()
+	}()
+
+	// The HTTP listener stays open for the whole drain window: submissions
+	// answer 503 + Retry-After from the service layer, /healthz reports
+	// "draining" so load balancers route elsewhere, and status polls and
+	// event streams keep working until their jobs reach a terminal state.
+	svc.StartDrain()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("ftserve: drain: %v", err)
+	} else {
+		log.Printf("ftserve: drained cleanly")
+	}
+
+	// Every job is terminal now, so open responses flush quickly; cut any
+	// connection that lingers past the grace rather than wait forever.
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		_ = httpSrv.Close()
+	}
+	return 0
 }

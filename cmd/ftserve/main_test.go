@@ -22,6 +22,9 @@ func TestParseArgsDefaults(t *testing.T) {
 	if opts.cfg.TraceRetention != 0 || opts.cfg.WaitBudget != 0 || opts.cfg.PipelineCap != 8 {
 		t.Errorf("default observability config %+v", opts.cfg)
 	}
+	if opts.drainTimeout != 30*time.Second {
+		t.Errorf("default drain timeout %v, want 30s", opts.drainTimeout)
+	}
 	if !strings.HasPrefix(opts.cfg.Version, version) {
 		t.Errorf("version stamp %q does not start with %q", opts.cfg.Version, version)
 	}
@@ -29,13 +32,16 @@ func TestParseArgsDefaults(t *testing.T) {
 
 func TestParseArgsObservabilityFlags(t *testing.T) {
 	opts, err := parseArgs([]string{
-		"-trace-retention", "5m", "-wait-budget", "250ms", "-pipeline-cap", "16",
+		"-trace-retention", "5m", "-wait-budget", "250ms", "-pipeline-cap", "16", "-drain-timeout", "90s",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.cfg.TraceRetention != 5*time.Minute || opts.cfg.WaitBudget != 250*time.Millisecond || opts.cfg.PipelineCap != 16 {
 		t.Errorf("parsed observability config %+v", opts.cfg)
+	}
+	if opts.drainTimeout != 90*time.Second {
+		t.Errorf("parsed drain timeout %v, want 90s", opts.drainTimeout)
 	}
 }
 
@@ -110,6 +116,8 @@ func TestParseArgsRejectsBadValues(t *testing.T) {
 		{"-queue", "8", "-queue-caps", "high=9"}, // above an explicit depth
 		{"-pipeline-cap", "0"},
 		{"-wait-budget", "-1s"},
+		{"-drain-timeout", "0s"},
+		{"-drain-timeout", "-5s"},
 		{"stray"},
 		{"-no-such-flag"},
 	} {

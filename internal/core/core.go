@@ -70,6 +70,45 @@ type Options struct {
 	// Progress's job), and the greedy's decisions are identical with and
 	// without it.
 	Phase func(PhaseInfo)
+	// Chaos, if non-nil, is invoked at fault-injection sites with the site
+	// name: "oracle-query" (inside every fault-oracle search, any
+	// goroutine), "pipeline-worker" (once per speculative batch per
+	// worker), and "respec-round" (once per re-speculation goroutine). A
+	// test hook panicking here exercises the engine's panic containment:
+	// speculation goroutines recover into a *PanicError on the affected
+	// edge's result slot, so the build fails cleanly instead of killing
+	// the process. Nil in production.
+	Chaos func(site string)
+}
+
+// Chaos site names passed to Options.Chaos.
+const (
+	ChaosSiteOracle = "oracle-query"
+	ChaosSiteWorker = "pipeline-worker"
+	ChaosSiteRespec = "respec-round"
+)
+
+// PanicError is a panic recovered inside one of the greedy's speculation
+// goroutines, surfaced as the build error: the panic value and stack are
+// preserved so the caller can report them without the process dying.
+type PanicError struct {
+	// Site is the chaos-site name of the goroutine that panicked.
+	Site string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Site, e.Value)
+}
+
+// chaos fires the Options.Chaos hook, if any, for site.
+func (b *builder) chaos(site string) {
+	if b.opts.Chaos != nil {
+		b.opts.Chaos(site)
+	}
 }
 
 // Phase names delivered in PhaseInfo.Phase.
@@ -242,6 +281,10 @@ func Greedy(g *graph.Graph, opts Options) (*Result, error) {
 	h := graph.New(g.NumVertices())
 	oracleOpts := opts.Oracle
 	oracleOpts.EdgeCapacity = g.NumEdges()
+	if opts.Chaos != nil {
+		chaos := opts.Chaos
+		oracleOpts.Chaos = func() { chaos(ChaosSiteOracle) }
+	}
 	oracle, err := fault.NewOracle(h, opts.Mode, oracleOpts)
 	if err != nil {
 		return nil, err

@@ -80,6 +80,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -240,28 +241,56 @@ func (b *builder) scanParallel(edges []graph.Edge) error {
 // arriving batch's snapshot, then claim and answer edges until the batch is
 // exhausted. Every result slot is written by exactly one worker before that
 // worker's wg.Done, so the scan goroutine's wg.Wait orders all writes
-// before its reads.
+// before its reads. A panic inside a batch (the oracle, or the injected
+// Chaos hook) is contained by specBatch; the worker then stops querying —
+// its oracle state is suspect — but keeps draining arrivals so the pipeline
+// never deadlocks on a missing wg.Done.
 func (b *builder) specWorker(o *fault.Oracle, ch <-chan *inflight) {
+	broken := false
 	for fl := range ch {
-		if b.specAbort.Load() {
+		if broken || b.specAbort.Load() {
 			fl.wg.Done()
 			continue
 		}
-		rebindErr := o.Rebind(fl.snap)
-		for {
-			i := int(fl.next.Add(1)) - 1
-			if i >= len(fl.edges) {
-				break
+		broken = b.specBatch(o, fl)
+	}
+}
+
+// specBatch answers one batch's share of edges, recovering any panic into a
+// *PanicError on the claimed slot so the commit walk surfaces it as a clean
+// build error. Claims advance a shared cursor, so the claimed slots of all
+// workers form a contiguous prefix: an error slot is always reached by the
+// commit walk before any slot that was never written (and the walk also
+// cursor-checks for the all-workers-broken case, see commitInflight).
+// Returns whether the worker broke.
+func (b *builder) specBatch(o *fault.Oracle, fl *inflight) (broken bool) {
+	claimed := -1
+	defer fl.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			broken = true
+			if claimed >= 0 {
+				fl.results[claimed] = specResult{err: &PanicError{
+					Site: ChaosSiteWorker, Value: v, Stack: debug.Stack(),
+				}}
 			}
-			if rebindErr != nil {
-				fl.results[i] = specResult{err: rebindErr}
-				continue
-			}
-			e := fl.edges[i]
-			wit, found, err := o.FindFaultSet(e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults)
-			fl.results[i] = specResult{witness: wit, found: found, err: err}
 		}
-		fl.wg.Done()
+	}()
+	b.chaos(ChaosSiteWorker)
+	rebindErr := o.Rebind(fl.snap)
+	for {
+		i := int(fl.next.Add(1)) - 1
+		if i >= len(fl.edges) {
+			return false
+		}
+		claimed = i
+		if rebindErr != nil {
+			fl.results[i] = specResult{err: rebindErr}
+			continue
+		}
+		e := fl.edges[i]
+		wit, found, err := o.FindFaultSet(e.U, e.V, b.opts.Stretch*e.Weight, b.opts.Faults)
+		fl.results[i] = specResult{witness: wit, found: found, err: err}
 	}
 }
 
@@ -320,6 +349,14 @@ func (b *builder) putInflight(fl *inflight) {
 // walk had to defer.
 func (b *builder) commitInflight(fl *inflight) error {
 	fl.wg.Wait()
+	// Claims form a contiguous prefix of the cursor; if every worker broke
+	// (panicked) before the batch was exhausted, the tail slots were never
+	// written and their zero value would silently read as "drop". The
+	// prefix's own error slots are caught by the walk below.
+	if int(fl.next.Load()) < len(fl.edges) {
+		return fmt.Errorf("core: speculation pool lost batch to panics (%d/%d edges unclaimed)",
+			len(fl.edges)-int(fl.next.Load()), len(fl.edges))
+	}
 	pending := b.pendingBuf[:0]
 	for i := range fl.edges {
 		e := fl.edges[i]
@@ -464,11 +501,24 @@ func (b *builder) respeculate(fl *inflight, pending []int) ([]int, error) {
 		wg.Add(1)
 		go func(o *fault.Oracle) {
 			defer wg.Done()
+			claimed := -1
+			defer func() {
+				// Same containment as specBatch: a panic becomes an error on
+				// the claimed slot, and the goroutine stops (its remaining
+				// claims fall to the surviving workers or the cursor check).
+				if v := recover(); v != nil && claimed >= 0 {
+					results[claimed] = specResult{err: &PanicError{
+						Site: ChaosSiteRespec, Value: v, Stack: debug.Stack(),
+					}}
+				}
+			}()
+			b.chaos(ChaosSiteRespec)
 			for {
 				j := int(next.Add(1)) - 1
 				if j >= len(head) {
 					return
 				}
+				claimed = j
 				e := fl.edges[head[j]]
 				// The edge's last witness rides along as a hint: a witness
 				// that was merely blocked behind an unresolved earlier edge
@@ -482,6 +532,10 @@ func (b *builder) respeculate(fl *inflight, pending []int) ([]int, error) {
 	wg.Wait()
 	b.res.Stats.SpecQueries += int64(len(head))
 	b.freeSnaps = append(b.freeSnaps, snap)
+	if int(next.Load()) < len(head) {
+		return nil, fmt.Errorf("core: re-speculation round lost %d/%d edges to panics",
+			len(head)-int(next.Load()), len(head))
+	}
 
 	out := pending[:0]
 	for j, i := range head {

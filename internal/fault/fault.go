@@ -96,6 +96,12 @@ type Options struct {
 	// them would make the distribution bimodal in a way that tracks cache
 	// luck, not search cost.
 	ObserveQuery func(d time.Duration)
+	// Chaos, if non-nil, is invoked at the top of every FindFaultSet — a
+	// test-only fault-injection point that can panic to exercise the
+	// caller's panic containment. Like ObserveQuery it must be safe for
+	// concurrent use (every worker oracle carries the same options). Nil in
+	// production.
+	Chaos func()
 }
 
 // querySampleEvery is the ObserveQuery sampling stride: every n-th
@@ -284,6 +290,9 @@ func (o *Oracle) FindFaultSet(u, v int, bound float64, budget int) ([]int, bool,
 	}
 	if o.g.NumEdges() > o.forbiddenE.Cap() {
 		return nil, false, fmt.Errorf("fault: graph grew past EdgeCapacity %d", o.forbiddenE.Cap())
+	}
+	if o.opts.Chaos != nil {
+		o.opts.Chaos()
 	}
 	o.calls++
 	if o.opts.ObserveQuery != nil && o.calls%querySampleEvery == 0 {

@@ -1,0 +1,219 @@
+// Package injectfs provides a seeded, scriptable error-injecting filesystem
+// implementing the store.FS seam. Chaos and degraded-mode tests use it to
+// script ENOSPC, EIO, torn renames, and slow writes deterministically while
+// all real I/O still lands in a temp directory through the OS.
+//
+// Faults come in two forms: probabilistic rates (seeded, so a failing run is
+// reproducible from its seed) and forced bursts (ForceWriteFailures), which
+// guarantee breaker-tripping sequences regardless of what the dice say.
+package injectfs
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/store"
+)
+
+// Rates configures probabilistic fault injection. Each value is a
+// probability in [0,1] evaluated independently per operation.
+type Rates struct {
+	// ReadErr is the chance a ReadFile returns ReadErrno without reading.
+	ReadErr float64
+	// WriteErr is the chance a CreateTemp, Write, or Sync on a temp file
+	// returns WriteErrno.
+	WriteErr float64
+	// TornRename is the chance a Rename writes a truncated copy of the
+	// source to the destination, removes the source, and returns EIO —
+	// the classic half-applied rename a crashing kernel can leave behind.
+	TornRename float64
+	// SlowWrite is the chance a Write stalls for SlowWriteDelay first.
+	SlowWrite float64
+}
+
+// FS is an error-injecting store.FS wrapping the real OS filesystem.
+// Safe for concurrent use.
+type FS struct {
+	osfs store.OSFS
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rates Rates
+	// forcedWrites > 0 makes the next N write-path operations fail with
+	// forcedErr unconditionally.
+	forcedWrites int
+	forcedErr    error
+
+	readErrno      error
+	writeErrno     error
+	slowWriteDelay time.Duration
+
+	// Injection counters, for tests asserting faults actually fired.
+	injectedReads   int64
+	injectedWrites  int64
+	injectedRenames int64
+}
+
+// New returns an FS seeded with seed. Zero rates: pure pass-through until
+// SetRates or ForceWriteFailures is called.
+func New(seed int64) *FS {
+	return &FS{
+		rng:            rand.New(rand.NewSource(seed)),
+		readErrno:      syscall.EIO,
+		writeErrno:     syscall.EIO,
+		slowWriteDelay: 2 * time.Millisecond,
+	}
+}
+
+// SetRates replaces the probabilistic fault rates.
+func (f *FS) SetRates(r Rates) {
+	f.mu.Lock()
+	f.rates = r
+	f.mu.Unlock()
+}
+
+// SetErrnos overrides the errors injected on reads and writes (defaults:
+// EIO for both). Pass e.g. syscall.ENOSPC as werr to script a full disk.
+func (f *FS) SetErrnos(rerr, werr error) {
+	f.mu.Lock()
+	if rerr != nil {
+		f.readErrno = rerr
+	}
+	if werr != nil {
+		f.writeErrno = werr
+	}
+	f.mu.Unlock()
+}
+
+// ForceWriteFailures makes the next n write-path operations fail with err
+// unconditionally, regardless of rates. Guarantees a breaker trip in tests.
+func (f *FS) ForceWriteFailures(n int, err error) {
+	f.mu.Lock()
+	f.forcedWrites = n
+	f.forcedErr = err
+	f.mu.Unlock()
+}
+
+// Clear stops all injection: rates to zero, forced failures cancelled.
+func (f *FS) Clear() {
+	f.mu.Lock()
+	f.rates = Rates{}
+	f.forcedWrites = 0
+	f.mu.Unlock()
+}
+
+// Injected reports how many faults of each kind have fired.
+func (f *FS) Injected() (reads, writes, renames int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injectedReads, f.injectedWrites, f.injectedRenames
+}
+
+// roll evaluates probability p under the shared seeded rng.
+func (f *FS) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.rng.Float64() < p
+}
+
+// writeFault decides whether a write-path operation fails, consuming one
+// forced failure if armed. Caller must not hold f.mu.
+func (f *FS) writeFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.forcedWrites > 0 {
+		f.forcedWrites--
+		f.injectedWrites++
+		return &os.PathError{Op: "write", Path: "injectfs", Err: f.forcedErr}
+	}
+	if f.roll(f.rates.WriteErr) {
+		f.injectedWrites++
+		return &os.PathError{Op: "write", Path: "injectfs", Err: f.writeErrno}
+	}
+	return nil
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.osfs.MkdirAll(path, perm) }
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error)   { return f.osfs.ReadDir(name) }
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	if f.roll(f.rates.ReadErr) {
+		f.injectedReads++
+		err := f.readErrno
+		f.mu.Unlock()
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	f.mu.Unlock()
+	return f.osfs.ReadFile(name)
+}
+
+func (f *FS) Remove(name string) error                  { return f.osfs.Remove(name) }
+func (f *FS) Chtimes(name string, a, m time.Time) error { return f.osfs.Chtimes(name, a, m) }
+func (f *FS) SyncDir(name string) error                 { return f.osfs.SyncDir(name) }
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	torn := f.roll(f.rates.TornRename)
+	if torn {
+		f.injectedRenames++
+	}
+	f.mu.Unlock()
+	if !torn {
+		return f.osfs.Rename(oldpath, newpath)
+	}
+	// Torn rename: leave a truncated copy at the destination, drop the
+	// source, report failure. Readers must detect the partial record via
+	// the codec's CRC and quarantine it, never serve it.
+	if data, err := os.ReadFile(oldpath); err == nil && len(data) > 1 {
+		_ = os.WriteFile(newpath, data[:len(data)/2], 0o644)
+	}
+	_ = os.Remove(oldpath)
+	return &os.PathError{Op: "rename", Path: newpath, Err: syscall.EIO}
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	if err := f.writeFault(); err != nil {
+		return nil, err
+	}
+	inner, err := f.osfs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// file wraps a real temp file, injecting write/sync faults and slow writes.
+type file struct {
+	fs    *FS
+	inner store.File
+}
+
+func (w *file) Name() string { return w.inner.Name() }
+func (w *file) Close() error { return w.inner.Close() }
+func (w *file) Sync() error {
+	if err := w.fs.writeFault(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	slow := w.fs.roll(w.fs.rates.SlowWrite)
+	delay := w.fs.slowWriteDelay
+	w.fs.mu.Unlock()
+	if slow {
+		time.Sleep(delay)
+	}
+	if err := w.fs.writeFault(); err != nil {
+		return 0, err
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) WriteString(s string) (int, error) { return w.Write([]byte(s)) }

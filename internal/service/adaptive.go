@@ -110,11 +110,10 @@ func newWaitShedder(budget time.Duration) *waitShedder {
 	return &waitShedder{budget: budget}
 }
 
-// observe records one dequeued job's queue wait for its class.
+// observe records one dequeued job's queue wait for its class. Waits are
+// recorded even with budget shedding disabled: the deadline-feasibility
+// check at submission reads the same p90.
 func (ws *waitShedder) observe(c class, wait time.Duration) {
-	if ws.budget <= 0 {
-		return
-	}
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	if len(ws.waits[c]) < shedWindow {

@@ -67,6 +67,9 @@ func normalizeSpec(spec *JobSpec) error {
 	if spec.Pipeline > 0 && spec.Parallelism <= 1 {
 		return fmt.Errorf("pipeline requires parallelism > 1, got parallelism %d", spec.Parallelism)
 	}
+	if spec.DeadlineMs < 0 {
+		return fmt.Errorf("deadline_ms must be >= 0, got %d", spec.DeadlineMs)
+	}
 	switch spec.Algorithm {
 	case AlgoGreedy, AlgoConservative:
 	case AlgoUnionEFT:
@@ -224,6 +227,7 @@ func (s *Server) build(ctx context.Context, job *Job) (*buildResult, error) {
 			Progress:    hook,
 			Parallelism: spec.Parallelism,
 			Pipeline:    pipeline,
+			Chaos:       s.cfg.Chaos,
 			Oracle: fault.Options{
 				ObserveQuery: func(d time.Duration) { s.lat.oracleQuery.Record(d) },
 			},

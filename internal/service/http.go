@@ -268,6 +268,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-s.ctx.Done():
+			// Graceful drain finishes every running job (appending its
+			// terminal event) before Close cancels s.ctx, but this select
+			// can observe both channels ready and pick shutdown first —
+			// deliver whatever raced in so a streaming client always sees
+			// the terminal event before the listener closes.
+			evs, _, _ := job.eventsSince(from)
+			for _, e := range evs {
+				if err := enc.Encode(e); err != nil {
+					return
+				}
+			}
+			if fl != nil {
+				fl.Flush()
+			}
 			return
 		}
 	}
@@ -393,10 +407,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // healthResponse answers GET /healthz.
 type healthResponse struct {
-	Status        string  `json:"status"` // "ok" or "unhealthy"
+	Status        string  `json:"status"` // "ok", "degraded", "draining", or "unhealthy"
 	Version       string  `json:"version,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Store is "ok", "disabled", or the write-probe error.
+	// Store is "ok", "disabled", "degraded" (circuit breaker open,
+	// memory-only mode), or the write-probe error.
 	Store string `json:"store"`
 	// Workers is the configured pool size; zero-valued Error plus status
 	// "ok" means the pool is accepting work.
@@ -405,8 +420,10 @@ type healthResponse struct {
 }
 
 // handleHealthz is the liveness/readiness probe: 200 while the worker pool
-// is accepting jobs and the durable store (if any) passes a write probe,
-// 503 otherwise.
+// is accepting jobs, 503 when shutting down or the store (if any) fails its
+// write probe without the breaker having contained it. A degraded store
+// (breaker open, jobs still completing memory-only) reports status
+// "degraded" with 200 — the server is serving, just without durability.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{
 		Status:        "ok",
@@ -421,15 +438,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	if s.store != nil {
-		if err := s.store.Healthy(); err != nil {
-			resp.Status = "unhealthy"
-			resp.Store = "unwritable"
-			resp.Error = err.Error()
-			writeJSON(w, http.StatusServiceUnavailable, resp)
-			return
+	if s.draining.Load() {
+		resp.Status = "draining"
+		resp.Error = "server draining: finishing in-flight builds, not accepting jobs"
+		if s.store != nil {
+			// In-flight builds still persist during the drain, so the store
+			// state stays informative; no write probe — the answer should be
+			// cheap while load balancers poll it.
+			resp.Store = "ok"
+			if s.store.Degraded() {
+				resp.Store = "degraded"
+			}
 		}
-		resp.Store = "ok"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	if s.store != nil {
+		switch {
+		case s.store.Degraded():
+			resp.Status = "degraded"
+			resp.Store = "degraded"
+		default:
+			if err := s.store.Healthy(); err != nil {
+				resp.Status = "unhealthy"
+				resp.Store = "unwritable"
+				resp.Error = err.Error()
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+				return
+			}
+			resp.Store = "ok"
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ftspanner/ftspanner/internal/core"
@@ -13,7 +14,7 @@ import (
 // State is the lifecycle state of a job.
 type State string
 
-// Job lifecycle states. A job moves queued -> running -> one of the three
+// Job lifecycle states. A job moves queued -> running -> one of the four
 // terminal states; cache hits are born done.
 const (
 	StateQueued    State = "queued"
@@ -21,11 +22,15 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateDeadline marks a job whose JobSpec.DeadlineMs expired before the
+	// build finished — distinct from cancelled (client's choice) and failed
+	// (build error) so deadline misses are observable as their own outcome.
+	StateDeadline State = "deadline_exceeded"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateDeadline
 }
 
 // Algorithm names accepted in JobSpec.Algorithm.
@@ -74,6 +79,14 @@ type JobSpec struct {
 	// affect the cache key (and a duplicate submission coalesces onto the
 	// in-flight job whatever either priority says).
 	Priority Priority `json:"priority,omitempty"`
+	// DeadlineMs is the job's end-to-end deadline in milliseconds from
+	// submission, covering queue wait plus build. Zero means no deadline.
+	// The deadline propagates as a context deadline through the build, a
+	// job that exceeds it lands in the "deadline_exceeded" terminal state,
+	// and submissions whose deadline is already infeasible given the
+	// class's recent p90 queue wait are refused up front with 429. Like
+	// Priority it never affects the cache key.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // GeneratorSpec names a server-side graph generator and its parameters.
@@ -122,6 +135,14 @@ type Job struct {
 	// feeds the per-class queue-age gauge.
 	class      class
 	enqueuedAt time.Time
+	// deadline is the absolute deadline derived from spec.DeadlineMs at
+	// submission (zero = none). Immutable after newJob.
+	deadline time.Time
+
+	// scanned mirrors the build's latest progress-hook edge count without
+	// taking j.mu — the drain Retry-After estimate reads it from the
+	// submit path while the build is writing events.
+	scanned atomic.Int64
 
 	// progressEvery throttles running-state events to one per this many
 	// scanned edges.
@@ -214,6 +235,9 @@ func newJob(id string, key CacheKey, spec JobSpec, g *graph.Graph) *Job {
 		updated:       make(chan struct{}),
 		done:          make(chan struct{}),
 	}
+	if spec.DeadlineMs > 0 {
+		j.deadline = j.enqueuedAt.Add(time.Duration(spec.DeadlineMs) * time.Millisecond)
+	}
 	j.appendEventLocked(Event{State: StateQueued})
 	return j
 }
@@ -242,6 +266,7 @@ func (j *Job) setStateLocked(s State, e Event) {
 // progress records a throttled running-state event; it is the core.Options
 // Progress hook's reporting half.
 func (j *Job) progress(scanned, kept int) {
+	j.scanned.Store(int64(scanned))
 	if scanned%j.progressEvery != 0 {
 		return
 	}

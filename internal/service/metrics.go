@@ -29,13 +29,16 @@ type metrics struct {
 	witnessSeeds  atomic.Int64 // structural witness seed trials across completed builds
 	witnessSeedOK atomic.Int64 // seed trials that answered their query
 	jobsEvicted   atomic.Int64 // terminal jobs removed by the retention janitor
+	panics        atomic.Int64 // build panics recovered into failed jobs
+	jobsDeadline  atomic.Int64 // jobs that missed their DeadlineMs
 
 	maxPipeline atomic.Int64 // deepest effective pipeline any completed build ran
 
 	// Per-priority-class scheduling counters, indexed by class.
-	dequeued [numClasses]atomic.Int64 // jobs handed to a worker from this class
-	rejected [numClasses]atomic.Int64 // submissions refused with 429 (class cap)
-	shed     [numClasses]atomic.Int64 // submissions refused with 429 (wait budget)
+	dequeued         [numClasses]atomic.Int64 // jobs handed to a worker from this class
+	rejected         [numClasses]atomic.Int64 // submissions refused with 429 (class cap)
+	shed             [numClasses]atomic.Int64 // submissions refused with 429 (wait budget)
+	deadlineRejected [numClasses]atomic.Int64 // submissions refused with 429 (deadline infeasible)
 
 	buildsInFlight atomic.Int64 // builds currently occupying a worker slot
 	maxInFlight    atomic.Int64 // high-water mark of buildsInFlight
@@ -83,6 +86,9 @@ type QueueClassSnapshot struct {
 	// Shed counts submissions refused by the wait-budget load shedder (a
 	// 429 issued on observed latency, before the depth cap would fire).
 	Shed int64 `json:"shed"`
+	// DeadlineRejected counts submissions refused because their DeadlineMs
+	// was infeasible against this class's recent p90 queue wait.
+	DeadlineRejected int64 `json:"deadline_rejected"`
 }
 
 // MetricsSnapshot is the GET /metrics response.
@@ -98,6 +104,14 @@ type MetricsSnapshot struct {
 	JobsDone      int64 `json:"jobs_done"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
+	// JobsDeadlineExceeded counts jobs that hit the deadline_exceeded
+	// terminal state; PanicsTotal counts build panics recovered into failed
+	// jobs (the worker slot survives every one).
+	JobsDeadlineExceeded int64 `json:"jobs_deadline_exceeded"`
+	PanicsTotal          int64 `json:"panics_total"`
+	// Draining is true once graceful shutdown has begun: submissions get
+	// 503 while the running builds finish.
+	Draining bool `json:"draining"`
 	// BuildsTotal counts builds actually dispatched to a worker — cache and
 	// store hits do not increment it, which is how the restart-warm tests
 	// prove no recomputation happened.
@@ -127,6 +141,15 @@ type MetricsSnapshot struct {
 	StoreEntries      int   `json:"store_entries"`
 	StoreBytes        int64 `json:"store_bytes"`
 	StoreMaxBytes     int64 `json:"store_max_bytes"`
+	// StoreDegraded is true while the store's circuit breaker is open
+	// (memory-only mode: Gets miss, Puts drop, jobs keep completing);
+	// StoreRetriesTotal counts transient I/O retries, StoreBreakerTrips
+	// counts open transitions, and StoreQuarantined gauges the .corrupt
+	// files currently retained for inspection.
+	StoreDegraded     bool  `json:"store_degraded"`
+	StoreRetriesTotal int64 `json:"store_retries_total"`
+	StoreBreakerTrips int64 `json:"store_breaker_trips"`
+	StoreQuarantined  int   `json:"store_quarantined"`
 	Deduplicated      int64 `json:"deduplicated"`
 	Dijkstras         int64 `json:"dijkstras_total"`
 	// WitnessCacheHits/Misses aggregate the build oracle's witness-reuse
@@ -180,22 +203,25 @@ type MetricsSnapshot struct {
 // counters and gauges.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		Version:       s.cfg.Version,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		JobsSubmitted: s.met.jobsSubmitted.Load(),
-		JobsDone:      s.met.jobsDone.Load(),
-		JobsFailed:    s.met.jobsFailed.Load(),
-		JobsCancelled: s.met.jobsCancelled.Load(),
-		BuildsTotal:   s.met.buildsRun.Load(),
-		JobsByState:   make(map[State]int),
-		QueueCapacity: s.cfg.QueueDepth,
-		Queues:        make(map[Priority]QueueClassSnapshot, numClasses),
-		Workers:       s.cfg.Workers,
-		CacheHits:     s.met.cacheHits.Load(),
-		CacheMisses:   s.met.cacheMisses.Load(),
-		CacheEntries:  s.cache.Len(),
-		Deduplicated:  s.met.dedups.Load(),
-		Dijkstras:     s.met.dijkstras.Load(),
+		Version:              s.cfg.Version,
+		UptimeSeconds:        time.Since(s.started).Seconds(),
+		JobsSubmitted:        s.met.jobsSubmitted.Load(),
+		JobsDone:             s.met.jobsDone.Load(),
+		JobsFailed:           s.met.jobsFailed.Load(),
+		JobsCancelled:        s.met.jobsCancelled.Load(),
+		JobsDeadlineExceeded: s.met.jobsDeadline.Load(),
+		PanicsTotal:          s.met.panics.Load(),
+		Draining:             s.draining.Load(),
+		BuildsTotal:          s.met.buildsRun.Load(),
+		JobsByState:          make(map[State]int),
+		QueueCapacity:        s.cfg.QueueDepth,
+		Queues:               make(map[Priority]QueueClassSnapshot, numClasses),
+		Workers:              s.cfg.Workers,
+		CacheHits:            s.met.cacheHits.Load(),
+		CacheMisses:          s.met.cacheMisses.Load(),
+		CacheEntries:         s.cache.Len(),
+		Deduplicated:         s.met.dedups.Load(),
+		Dijkstras:            s.met.dijkstras.Load(),
 
 		WitnessCacheHits:   s.met.witnessHits.Load(),
 		WitnessCacheMisses: s.met.witnessMisses.Load(),
@@ -242,6 +268,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap.StoreEntries = st.Entries
 		snap.StoreBytes = st.Bytes
 		snap.StoreMaxBytes = st.MaxBytes
+		snap.StoreDegraded = st.Degraded
+		snap.StoreRetriesTotal = st.Retries
+		snap.StoreBreakerTrips = st.BreakerTrips
+		snap.StoreQuarantined = len(st.Quarantined)
 	}
 	now := time.Now()
 	s.mu.Lock()
@@ -249,13 +279,14 @@ func (s *Server) Metrics() MetricsSnapshot {
 	for c := class(0); c < numClasses; c++ {
 		p := c.Priority()
 		snap.Queues[p] = QueueClassSnapshot{
-			Depth:       len(s.queues.q[c]),
-			Cap:         s.cfg.QueueCaps[p],
-			OldestAgeMS: float64(s.queues.oldestAge(c, now).Microseconds()) / 1000,
-			Weight:      classWeights[c],
-			Dequeued:    s.met.dequeued[c].Load(),
-			Rejected:    s.met.rejected[c].Load(),
-			Shed:        s.met.shed[c].Load(),
+			Depth:            len(s.queues.q[c]),
+			Cap:              s.cfg.QueueCaps[p],
+			OldestAgeMS:      float64(s.queues.oldestAge(c, now).Microseconds()) / 1000,
+			Weight:           classWeights[c],
+			Dequeued:         s.met.dequeued[c].Load(),
+			Rejected:         s.met.rejected[c].Load(),
+			Shed:             s.met.shed[c].Load(),
+			DeadlineRejected: s.met.deadlineRejected[c].Load(),
 		}
 	}
 	for _, j := range s.jobs {

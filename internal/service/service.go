@@ -26,9 +26,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/ftspanner/ftspanner/internal/core"
 	"github.com/ftspanner/ftspanner/internal/store"
 )
 
@@ -92,6 +95,19 @@ type Config struct {
 	PipelineCap int
 	// Version is an opaque build stamp reported in /metrics and /healthz.
 	Version string
+	// Chaos, if non-nil, is handed to every greedy build as the core
+	// engine's fault-injection hook (core.Options.Chaos): it is invoked at
+	// named sites inside oracle queries, pipeline workers, and
+	// re-speculation rounds, and may panic to exercise the server's panic
+	// containment. Test-only; nil in production.
+	Chaos func(site string)
+	// StoreFS overrides the durable store's filesystem seam (store.FS) so
+	// tests can inject I/O faults; nil selects the real OS filesystem.
+	StoreFS store.FS
+	// StoreProbeInterval overrides how often a degraded store re-probes the
+	// disk (store.Config.ProbeInterval); zero selects the store default.
+	// Test-only: short intervals make breaker re-arm observable quickly.
+	StoreProbeInterval time.Duration
 }
 
 const (
@@ -171,6 +187,16 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// draining refuses new submissions (503 + Retry-After) while running
+	// builds finish; set by StartDrain and by Close. inflight counts
+	// dequeued jobs from dequeue (under s.mu) to the end of run, so Drain
+	// can wait for exactly the builds that hold worker slots: StartDrain
+	// empties the queues under the same s.mu, after which no new Add can
+	// race the Wait. closeOnce makes Close idempotent.
+	draining  atomic.Bool
+	inflight  sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New returns a Server with cfg's worker pool already running. With
@@ -181,7 +207,13 @@ func New(cfg Config) (*Server, error) {
 	var st *store.Store
 	if cfg.StoreDir != "" {
 		var err error
-		if st, err = store.Open(cfg.StoreDir, cfg.StoreMaxBytes); err != nil {
+		st, err = store.OpenConfig(store.Config{
+			Dir:           cfg.StoreDir,
+			MaxBytes:      cfg.StoreMaxBytes,
+			FS:            cfg.StoreFS,
+			ProbeInterval: cfg.StoreProbeInterval,
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -278,14 +310,102 @@ func (s *Server) sweepExpired(now time.Time) int {
 
 // Close cancels every in-flight build, waits for the workers to exit, and
 // releases the durable store. Persisted results stay on disk for the next
-// Server over the same directory.
+// Server over the same directory. Close is idempotent, and safe against
+// concurrent submissions: admissions stop first, then the pool drains, then
+// any job that slipped into the queue is cancelled so no client waits on it
+// forever.
 func (s *Server) Close() {
-	s.cancel()
-	s.wg.Wait()
-	if s.store != nil {
-		s.store.Close()
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.cancel()
+		s.wg.Wait()
+		s.cancelQueued("server closed")
+		if s.store != nil {
+			s.store.Close()
+		}
+	})
+}
+
+// StartDrain flips the server into draining mode: new submissions are
+// refused with 503 + Retry-After (estimated from the running builds'
+// progress), queued jobs that no worker has picked up are cancelled, and
+// running builds keep their worker slots. Idempotent; follow with Drain to
+// wait for the in-flight builds.
+func (s *Server) StartDrain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.cancelQueued("server draining")
+}
+
+// cancelQueued empties every priority queue, cancelling the jobs it finds.
+// With draining already set no new job can join behind it.
+func (s *Server) cancelQueued(reason string) {
+	s.mu.Lock()
+	var queued []*Job
+	for {
+		job := s.queues.pop()
+		if job == nil {
+			break
+		}
+		queued = append(queued, job)
+	}
+	s.mu.Unlock()
+	for _, job := range queued {
+		job.mu.Lock()
+		if job.state != StateQueued { // cancelled by the client already
+			job.mu.Unlock()
+			continue
+		}
+		job.setStateLocked(StateCancelled, Event{Error: reason})
+		job.queueSpan.End()
+		tr := job.trace
+		job.mu.Unlock()
+		if tr != nil {
+			root := tr.Root()
+			root.SetAttr("cancelled", 1)
+			root.End()
+		}
+		s.dropActive(job)
+		s.met.jobsCancelled.Add(1)
 	}
 }
+
+// Drain waits for every in-flight build to finish (and persist) or for ctx
+// to expire, whichever is first. On expiry the running builds are cancelled
+// and Drain still waits for the workers to record their terminal states —
+// the forced path loses results, never invariants. Call StartDrain first;
+// Drain on a non-draining server just waits for the momentary in-flight
+// set.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // cancels every running build's context
+		<-done
+		return ctx.Err()
+	}
+}
+
+// DrainAndClose is the graceful shutdown path: stop admissions, let running
+// builds finish within ctx, then release everything with Close. Returns
+// ctx's error when the drain had to force-cancel builds.
+func (s *Server) DrainAndClose(ctx context.Context) error {
+	s.StartDrain()
+	err := s.Drain(ctx)
+	s.Close()
+	return err
+}
+
+// Draining reports whether the server is refusing new submissions while it
+// shuts down.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -297,6 +417,7 @@ func (s *Server) worker() {
 	for {
 		if job := s.dequeue(); job != nil {
 			s.run(job)
+			s.inflight.Done()
 			continue
 		}
 		select {
@@ -308,13 +429,16 @@ func (s *Server) worker() {
 }
 
 // dequeue pops the next pending job under the weighted-fair schedule, or
-// nil when every queue is empty.
+// nil when every queue is empty. A popped job joins the in-flight count
+// under the same s.mu hold, so Drain (which empties the queues under s.mu
+// before waiting) can never miss one.
 func (s *Server) dequeue() *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job := s.queues.pop()
 	if job != nil {
 		s.met.dequeued[job.class].Add(1)
+		s.inflight.Add(1)
 	}
 	return job
 }
@@ -325,7 +449,16 @@ func (s *Server) dequeue() *Job {
 // hook, and the baseline algorithms (which have no hook) are abandoned to
 // finish in the background with their result discarded.
 func (s *Server) run(job *Job) {
-	ctx, cancel := context.WithCancel(s.ctx)
+	// A job deadline becomes a real context deadline covering the rest of
+	// the build; the queue wait already spent against it is inherent in
+	// the absolute deadline computed at submission.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if job.deadline.IsZero() {
+		ctx, cancel = context.WithCancel(s.ctx)
+	} else {
+		ctx, cancel = context.WithDeadline(s.ctx, job.deadline)
+	}
 	defer cancel()
 
 	job.mu.Lock()
@@ -353,12 +486,25 @@ func (s *Server) run(job *Job) {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
+		// Contain build panics (a bug in an algorithm, or the injected
+		// chaos hook) to this job: the panic becomes a failed-job error
+		// carrying the value and stack, and the worker slot survives.
+		defer func() {
+			if v := recover(); v != nil {
+				ch <- outcome{nil, &core.PanicError{
+					Site: "build", Value: v, Stack: debug.Stack(),
+				}}
+			}
+		}()
 		res, err := s.build(ctx, job)
 		ch <- outcome{res, err}
 	}()
 	select {
 	case <-ctx.Done():
-		s.finish(job, nil, context.Canceled)
+		// ctx.Err distinguishes shutdown/cancel (Canceled) from a missed
+		// job deadline (DeadlineExceeded); finish maps them to distinct
+		// terminal states.
+		s.finish(job, nil, ctx.Err())
 	case out := <-ch:
 		s.finish(job, out.res, out.err)
 	}
@@ -380,12 +526,21 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 		buildDur = time.Since(job.startedAt)
 		job.buildDur = buildDur
 	}
+	var pe *core.PanicError
 	switch {
 	case err == nil:
 		job.result = res
 		job.setStateLocked(StateDone, Event{Scanned: res.stats.EdgesScanned, Kept: len(res.kept)})
+	case errors.Is(err, context.DeadlineExceeded):
+		job.err = fmt.Errorf("deadline of %dms exceeded", job.spec.DeadlineMs)
+		job.setStateLocked(StateDeadline, Event{Error: job.err.Error()})
 	case errors.Is(err, context.Canceled):
 		job.setStateLocked(StateCancelled, Event{})
+	case errors.As(err, &pe):
+		// The job error keeps the panic value AND stack; the stream event
+		// stays compact with just the value.
+		job.err = fmt.Errorf("%v\n%s", pe, pe.Stack)
+		job.setStateLocked(StateFailed, Event{Error: pe.Error()})
 	default:
 		job.err = err
 		job.setStateLocked(StateFailed, Event{Error: err.Error()})
@@ -426,10 +581,20 @@ func (s *Server) finish(job *Job, res *buildResult, err error) {
 			job.persistDur = pd
 			job.mu.Unlock()
 		}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.jobsDeadline.Add(1)
 	case errors.Is(err, context.Canceled):
 		s.met.jobsCancelled.Add(1)
 	default:
 		s.met.jobsFailed.Add(1)
+		if pe != nil {
+			s.met.panics.Add(1)
+			if tr != nil {
+				// Attr values are int64-only, so the panic text rides in the
+				// event name.
+				tr.Root().Event(pe.Error())
+			}
+		}
 	}
 	tr.Root().End()
 	s.dropActive(job)
@@ -470,6 +635,9 @@ func (e *submitError) Error() string { return e.msg }
 // a job born done, and anything else is enqueued onto its priority class
 // for the worker pool.
 func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
+	if s.draining.Load() {
+		return nil, false, s.drainError()
+	}
 	g, err := materialize(&spec)
 	if err != nil {
 		return nil, false, &submitError{status: http.StatusBadRequest, msg: err.Error()}
@@ -525,6 +693,12 @@ func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 		}
 		return job, false, nil
 	}
+	// Re-checked under s.mu: StartDrain empties the queues under this same
+	// lock, so a submission past the lock-free check above must not slip a
+	// job into a queue no worker will ever drain.
+	if s.draining.Load() {
+		return nil, false, s.drainErrorLocked()
+	}
 	if s.queues.totalLen() >= s.cfg.QueueDepth {
 		return nil, false, &submitError{status: http.StatusServiceUnavailable,
 			msg: fmt.Sprintf("job queue full (%d queued)", s.queues.totalLen())}
@@ -552,6 +726,22 @@ func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 			retryAfter: s.retryAfterLocked(cls),
 		}
 	}
+	// Deadline feasibility: a job whose whole deadline would be eaten by
+	// the class's recent p90 queue wait is doomed before any build starts,
+	// so refuse it while the client can still retry elsewhere. This runs
+	// regardless of WaitBudget — the shedder records waits even with
+	// budget shedding disabled.
+	if spec.DeadlineMs > 0 {
+		if p90, ok := s.shedder.p90(cls); ok && time.Duration(spec.DeadlineMs)*time.Millisecond <= p90 {
+			s.met.deadlineRejected[cls].Add(1)
+			return nil, false, &submitError{
+				status: http.StatusTooManyRequests,
+				msg: fmt.Sprintf("deadline %dms cannot be met: priority %q p90 queue wait is %s",
+					spec.DeadlineMs, cls.Priority(), p90.Round(time.Millisecond)),
+				retryAfter: s.retryAfterLocked(cls),
+			}
+		}
+	}
 	job = newJob(id, key, spec, g)
 	job.startTrace(false, false)
 	s.queues.push(job)
@@ -565,6 +755,60 @@ func (s *Server) submit(spec JobSpec) (job *Job, dedup bool, err error) {
 	default: // wake already saturated; an awake worker will re-check
 	}
 	return job, false, nil
+}
+
+// drainError builds the 503 a draining server answers submissions with,
+// acquiring s.mu for the progress scan.
+func (s *Server) drainError() *submitError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainErrorLocked()
+}
+
+// drainErrorLocked is drainError with s.mu already held.
+func (s *Server) drainErrorLocked() *submitError {
+	return &submitError{
+		status:     http.StatusServiceUnavailable,
+		msg:        "server draining",
+		retryAfter: s.drainRetryAfterLocked(),
+	}
+}
+
+// drainRetryAfterLocked estimates the seconds until the drain finishes from
+// the running builds' own progress: for each in-flight job, the elapsed
+// build time scaled by the fraction of edges still unscanned, taking the
+// slowest job's estimate, clamped to [1, 60]. A build that has reported no
+// progress yet is assumed to need as long again as it has already run.
+// Caller holds s.mu.
+func (s *Server) drainRetryAfterLocked() int {
+	now := time.Now()
+	var worst time.Duration
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		running := j.state == StateRunning
+		started := j.startedAt
+		j.mu.Unlock()
+		if !running || started.IsZero() {
+			continue
+		}
+		elapsed := now.Sub(started)
+		total := int64(j.graph.NumEdges())
+		scanned := j.scanned.Load()
+		var rem time.Duration
+		if scanned <= 0 || scanned >= total {
+			rem = elapsed
+		} else {
+			rem = time.Duration(float64(elapsed) * float64(total-scanned) / float64(scanned))
+		}
+		if rem > worst {
+			worst = rem
+		}
+	}
+	sec := int(worst/time.Second) + 1
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // retryAfterLocked estimates how long a rejected client should wait before

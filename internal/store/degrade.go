@@ -1,0 +1,158 @@
+// Degraded-mode machinery: I/O error classification, capped jittered retry
+// for transient failures, and a circuit breaker that trips the store into
+// memory-only operation when the disk keeps failing.
+//
+// The design goal is that a bad disk turns the durable tier from a feature
+// into a no-op, never into a job-failing liability: while the breaker is
+// open every Get misses and every Put is dropped without touching the disk,
+// jobs keep completing from the in-memory tiers, and a background probe
+// re-arms the breaker the moment the disk recovers.
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"syscall"
+	"time"
+)
+
+// errClass buckets a store I/O failure by what acting on it can achieve.
+type errClass int
+
+const (
+	// errTransient failures (EINTR, EAGAIN, EBUSY, ETIMEDOUT, EIO) are worth
+	// retrying in place with backoff: flaky disks and overloaded kernels
+	// often succeed on the next attempt.
+	errTransient errClass = iota
+	// errDiskFull (ENOSPC, EDQUOT) will not be fixed by retrying in
+	// milliseconds; it skips the retry loop and counts straight against the
+	// breaker.
+	errDiskFull
+	// errPermanent is everything else (EROFS, EACCES, pathologies): retrying
+	// is pointless, the breaker decides whether the store stays up.
+	errPermanent
+)
+
+// classifyIOErr buckets err. It unwraps through fmt-wrapped and *os.PathError
+// chains via errors.Is.
+func classifyIOErr(err error) errClass {
+	switch {
+	case errors.Is(err, syscall.ENOSPC), errors.Is(err, syscall.EDQUOT):
+		return errDiskFull
+	case errors.Is(err, syscall.EINTR), errors.Is(err, syscall.EAGAIN),
+		errors.Is(err, syscall.EBUSY), errors.Is(err, syscall.ETIMEDOUT),
+		errors.Is(err, syscall.EIO):
+		return errTransient
+	default:
+		return errPermanent
+	}
+}
+
+// Retry and breaker tuning.
+const (
+	// retryAttempts bounds the total tries per retryable operation; the
+	// first attempt is free, so at most retryAttempts-1 sleeps happen.
+	retryAttempts = 3
+	// retryBaseDelay..retryMaxDelay is the jittered exponential backoff
+	// range: short enough that a Put on the build path stalls for at most a
+	// few tens of milliseconds even when every attempt fails.
+	retryBaseDelay = 2 * time.Millisecond
+	retryMaxDelay  = 20 * time.Millisecond
+
+	// defaultFailureThreshold is how many consecutive failed operations
+	// (after their retries) trip the breaker into memory-only mode.
+	defaultFailureThreshold = 3
+	// defaultProbeInterval is how often the background probe re-tests a
+	// degraded disk.
+	defaultProbeInterval = 2 * time.Second
+)
+
+// ErrDegraded is returned by Put while the breaker is open: the store is in
+// memory-only mode and did not touch the disk. Callers already treating
+// persistence as best-effort need no special handling.
+var ErrDegraded = errors.New("store: degraded (memory-only mode)")
+
+// withRetry runs op, retrying transient failures with capped jittered
+// exponential backoff. Non-transient failures and exhaustion return the last
+// error unchanged.
+func (s *Store) withRetry(op func() error) error {
+	delay := retryBaseDelay
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || os.IsNotExist(err) {
+			return err
+		}
+		if classifyIOErr(err) != errTransient || attempt >= retryAttempts {
+			return err
+		}
+		s.retries.Add(1)
+		// Jitter in [delay/2, delay): concurrent retries against a stressed
+		// disk should not re-collide in lockstep.
+		time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay)/2)))
+		if delay *= 2; delay > retryMaxDelay {
+			delay = retryMaxDelay
+		}
+	}
+}
+
+// opFailed records one failed disk operation (after its retries) and trips
+// the breaker at the failure threshold.
+func (s *Store) opFailed() {
+	s.breakerMu.Lock()
+	s.consecFails++
+	trip := s.consecFails >= s.failureThreshold && !s.degraded.Load()
+	if trip {
+		s.degraded.Store(true)
+		s.breakerTrips.Add(1)
+	}
+	s.breakerMu.Unlock()
+	if trip {
+		select {
+		case s.probeKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// opSucceeded resets the consecutive-failure count.
+func (s *Store) opSucceeded() {
+	s.breakerMu.Lock()
+	s.consecFails = 0
+	s.breakerMu.Unlock()
+}
+
+// Degraded reports whether the breaker is open (memory-only mode).
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// rearm closes the breaker after a successful probe.
+func (s *Store) rearm() {
+	s.breakerMu.Lock()
+	s.consecFails = 0
+	s.degraded.Store(false)
+	s.breakerMu.Unlock()
+}
+
+// prober is the background goroutine that re-arms a tripped breaker: while
+// the store is degraded it runs the write probe every probeInterval and
+// closes the breaker on the first success. Between trips it parks on the
+// kick channel.
+func (s *Store) prober() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.probeKick:
+		case <-t.C:
+		}
+		if !s.degraded.Load() {
+			continue
+		}
+		if s.Healthy() == nil {
+			s.rearm()
+		}
+	}
+}

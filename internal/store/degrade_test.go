@@ -1,0 +1,254 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestClassifyIOErr(t *testing.T) {
+	cases := []struct {
+		err  error
+		want errClass
+	}{
+		{syscall.ENOSPC, errDiskFull},
+		{syscall.EDQUOT, errDiskFull},
+		{syscall.EIO, errTransient},
+		{syscall.EINTR, errTransient},
+		{syscall.EAGAIN, errTransient},
+		{syscall.EBUSY, errTransient},
+		{syscall.ETIMEDOUT, errTransient},
+		{syscall.EROFS, errPermanent},
+		{syscall.EACCES, errPermanent},
+		{errors.New("opaque"), errPermanent},
+		// Classification must see through PathError and fmt wrapping.
+		{&os.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}, errDiskFull},
+		{fmt.Errorf("store: %w", &os.PathError{Op: "read", Path: "x", Err: syscall.EIO}), errTransient},
+	}
+	for _, c := range cases {
+		if got := classifyIOErr(c.err); got != c.want {
+			t.Errorf("classifyIOErr(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// faultFS is a minimal scriptable FS for store-level tests: it delegates to
+// OSFS but fails CreateTemp and/or ReadFile with a scripted error for the
+// next N calls. Mutex-guarded because the store's prober goroutine probes
+// concurrently with the test's own operations. (The richer probabilistic
+// injector lives in internal/injectfs; it cannot be used here without an
+// import cycle.)
+type faultFS struct {
+	OSFS
+	mu          sync.Mutex
+	failCreates int
+	createErr   error
+	failReads   int
+	readErr     error
+}
+
+func (f *faultFS) pendingCreates() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failCreates
+}
+
+func (f *faultFS) setFailReads(n int) {
+	f.mu.Lock()
+	f.failReads = n
+	f.mu.Unlock()
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	f.mu.Lock()
+	fail := f.failCreates > 0
+	if fail {
+		f.failCreates--
+	}
+	err := f.createErr
+	f.mu.Unlock()
+	if fail {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	return f.OSFS.CreateTemp(dir, pattern)
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	fail := f.failReads > 0
+	if fail {
+		f.failReads--
+	}
+	err := f.readErr
+	f.mu.Unlock()
+	if fail {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.OSFS.ReadFile(name)
+}
+
+func openFaulty(t *testing.T, fs FS, probe time.Duration) *Store {
+	t.Helper()
+	s, err := OpenConfig(Config{Dir: t.TempDir(), MaxBytes: -1, FS: fs, ProbeInterval: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestTransientWriteFailureRetriesInPlace(t *testing.T) {
+	fs := &faultFS{failCreates: 1, createErr: syscall.EIO}
+	s := openFaulty(t, fs, time.Hour)
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatalf("Put with one transient failure: %v", err)
+	}
+	m := s.Snapshot()
+	if m.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1", m.Retries)
+	}
+	if m.Degraded || m.BreakerTrips != 0 {
+		t.Errorf("one retried failure tripped the breaker: %+v", m)
+	}
+	if got, ok := s.Get(rec.Key); !ok || got.SpannerDigest != rec.SpannerDigest {
+		t.Error("record not readable after retried Put")
+	}
+}
+
+func TestDiskFullSkipsRetryAndTripsBreaker(t *testing.T) {
+	fs := &faultFS{failCreates: 1000, createErr: syscall.ENOSPC}
+	s := openFaulty(t, fs, time.Hour)
+	rec := sampleRecord()
+	for i := 0; i < defaultFailureThreshold; i++ {
+		if err := s.Put(rec); err == nil {
+			t.Fatal("Put succeeded on a full disk")
+		}
+	}
+	m := s.Snapshot()
+	if !m.Degraded || m.BreakerTrips != 1 {
+		t.Fatalf("after %d disk-full failures: degraded=%v trips=%d", defaultFailureThreshold, m.Degraded, m.BreakerTrips)
+	}
+	if m.Retries != 0 {
+		t.Errorf("disk-full failures were retried %d times; ENOSPC should skip the retry loop", m.Retries)
+	}
+
+	// Breaker open: Put drops without touching the disk, Get misses.
+	before := fs.pendingCreates()
+	if err := s.Put(rec); !errors.Is(err, ErrDegraded) {
+		t.Errorf("degraded Put returned %v, want ErrDegraded", err)
+	}
+	if fs.pendingCreates() != before {
+		t.Error("degraded Put touched the disk")
+	}
+	if _, ok := s.Get(rec.Key); ok {
+		t.Error("degraded Get returned a hit")
+	}
+}
+
+func TestProbeRearmsBreakerAfterRecovery(t *testing.T) {
+	fs := &faultFS{failCreates: defaultFailureThreshold * retryAttempts, createErr: syscall.ENOSPC}
+	s := openFaulty(t, fs, 5*time.Millisecond)
+	rec := sampleRecord()
+	for i := 0; i < defaultFailureThreshold; i++ {
+		_ = s.Put(rec)
+	}
+	if !s.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+	// The scripted failures are finite, so the probe finds a healthy disk
+	// within a few intervals and closes the breaker.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never re-armed after the disk recovered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Put(rec); err != nil {
+		t.Fatalf("Put after re-arm: %v", err)
+	}
+	if _, ok := s.Get(rec.Key); !ok {
+		t.Error("Get after re-arm missed")
+	}
+}
+
+func TestReadErrorDropsWithoutQuarantine(t *testing.T) {
+	fs := &faultFS{readErr: syscall.EIO}
+	s := openFaulty(t, fs, time.Hour)
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Every retry attempt fails: the Get must report a miss and count an
+	// operation failure, but the record file is NOT corrupt — it must stay
+	// on disk un-quarantined for the post-recovery reopen.
+	fs.setFailReads(retryAttempts)
+	if _, ok := s.Get(rec.Key); ok {
+		t.Fatal("Get served a record through a failing disk")
+	}
+	if got := dirFiles(t, s.Dir(), corruptExt); len(got) != 0 {
+		t.Errorf("read I/O failure quarantined files: %v", got)
+	}
+	if got := dirFiles(t, s.Dir(), fileExt); len(got) != 1 {
+		t.Errorf("record file gone after read failure: %v", got)
+	}
+	m := s.Snapshot()
+	if m.Retries < 1 {
+		t.Errorf("transient read failures were not retried: %+v", m)
+	}
+}
+
+func TestSnapshotListsQuarantinedFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, -1)
+	rec := sampleRecord()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the record on disk; the next Get quarantines it.
+	path := recordPath(t, dir, rec.Key)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(rec.Key); ok {
+		t.Fatal("Get served a corrupt record")
+	}
+	m := s.Snapshot()
+	if len(m.Quarantined) != 1 {
+		t.Fatalf("snapshot quarantined list %v, want one entry", m.Quarantined)
+	}
+	if m.Quarantined[0] != fileName(rec.Key)+corruptExt {
+		t.Errorf("quarantined name %q", m.Quarantined[0])
+	}
+
+	// The listing survives a reopen (the .corrupt file is rescanned).
+	s.Close()
+	s2 := mustOpen(t, dir, -1)
+	if m := s2.Snapshot(); len(m.Quarantined) != 1 {
+		t.Errorf("quarantined list lost across reopen: %v", m.Quarantined)
+	}
+}
+
+func TestDegradedStoreStillClosesCleanly(t *testing.T) {
+	fs := &faultFS{failCreates: 1000, createErr: syscall.EROFS}
+	s, err := OpenConfig(Config{Dir: t.TempDir(), MaxBytes: -1, FS: fs, ProbeInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	for i := 0; i < defaultFailureThreshold; i++ {
+		_ = s.Put(rec)
+	}
+	if !s.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+	// Close while the prober is actively probing a broken disk; double
+	// Close checks idempotency.
+	s.Close()
+	s.Close()
+}

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// FS is the store's filesystem seam: every disk operation the store performs
+// goes through it, so resilience tests can substitute an error-injecting
+// implementation (internal/injectfs) that scripts ENOSPC, EIO, torn renames,
+// and slow writes deterministically. Production stores use OSFS. All methods
+// must be safe for concurrent use (the os package's are).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Chtimes(name string, atime, mtime time.Time) error
+	// CreateTemp creates a new temporary file in dir, opened for writing,
+	// with a name built from pattern as in os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// SyncDir fsyncs the directory itself so a completed rename survives
+	// power loss, not just process death.
+	SyncDir(name string) error
+}
+
+// File is the writable-file half of the seam, as returned by FS.CreateTemp.
+type File interface {
+	io.Writer
+	io.StringWriter
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS: a thin veneer over package os.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Chtimes(name string, a, m time.Time) error    { return os.Chtimes(name, a, m) }
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -32,9 +32,16 @@ const (
 // key under a single directory, LRU-bounded in total on-disk bytes by a
 // background evictor. Safe for concurrent use; a directory must be owned by
 // at most one open Store at a time (ftserve opens exactly one).
+//
+// The store degrades instead of failing: transient I/O errors are retried
+// with capped jittered backoff, and repeated failures trip a circuit
+// breaker into memory-only mode (Get misses, Put drops, the disk is left
+// alone) until a background probe finds the disk healthy again. See
+// degrade.go.
 type Store struct {
 	dir      string
 	maxBytes int64 // <= 0 means unbounded
+	fs       FS    // disk seam; OSFS in production, injectfs in chaos tests
 
 	mu    sync.Mutex
 	ll    *list.List               // front = most recently used; values are *fileEntry
@@ -52,6 +59,18 @@ type Store struct {
 	evictions    atomic.Int64
 	evictedBytes atomic.Int64
 
+	// Degraded-mode state (degrade.go): the breaker trips after
+	// failureThreshold consecutive failed operations and is re-armed by the
+	// prober goroutine.
+	failureThreshold int
+	probeInterval    time.Duration
+	breakerMu        sync.Mutex
+	consecFails      int
+	degraded         atomic.Bool
+	breakerTrips     atomic.Int64
+	retries          atomic.Int64
+	probeKick        chan struct{}
+
 	kick      chan struct{} // signals the evictor that bytes may exceed maxBytes
 	done      chan struct{}
 	closeOnce sync.Once
@@ -59,6 +78,24 @@ type Store struct {
 
 	// observer receives per-operation wall-clock latencies (SetObserver).
 	observer atomic.Pointer[func(Op, time.Duration)]
+}
+
+// Config parameterizes OpenConfig. Zero values select the documented
+// defaults.
+type Config struct {
+	// Dir is the backing directory (required).
+	Dir string
+	// MaxBytes LRU-bounds the total on-disk bytes; <= 0 means unbounded.
+	MaxBytes int64
+	// FS overrides the filesystem seam; nil selects OSFS. Resilience tests
+	// inject internal/injectfs here to script disk faults.
+	FS FS
+	// FailureThreshold is how many consecutive failed operations trip the
+	// breaker into memory-only mode (default 3).
+	FailureThreshold int
+	// ProbeInterval is how often the background probe re-tests a degraded
+	// disk (default 2s). Tests shorten it to observe re-arming quickly.
+	ProbeInterval time.Duration
 }
 
 // Op names a store operation for the latency observer.
@@ -93,9 +130,10 @@ func (s *Store) observe(op Op, start time.Time) {
 // Healthy probes the store for liveness: the backing directory must exist
 // and accept a (tiny, immediately removed) write. The probe file carries
 // tmpExt so a crash mid-probe is cleaned up by the next Open like any
-// interrupted write.
+// interrupted write. The probe goes through the FS seam, so injected faults
+// fail it like any real disk fault would.
 func (s *Store) Healthy() error {
-	f, err := os.CreateTemp(s.dir, "healthz"+tmpExt+"*")
+	f, err := s.fs.CreateTemp(s.dir, "healthz"+tmpExt+"*")
 	if err != nil {
 		return fmt.Errorf("store: health probe: %w", err)
 	}
@@ -104,7 +142,7 @@ func (s *Store) Healthy() error {
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
-	_ = os.Remove(name)
+	_ = s.fs.Remove(name)
 	if werr != nil {
 		return fmt.Errorf("store: health probe: %w", werr)
 	}
@@ -124,10 +162,27 @@ type fileEntry struct {
 // deletes temp files left by interrupted writes, and starts the background
 // evictor. maxBytes <= 0 disables the byte bound.
 func Open(dir string, maxBytes int64) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenConfig(Config{Dir: dir, MaxBytes: maxBytes})
+}
+
+// OpenConfig is Open with the full configuration surface: filesystem seam,
+// breaker threshold, and probe interval.
+func OpenConfig(cfg Config) (*Store, error) {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = defaultFailureThreshold
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	dir := cfg.Dir
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -149,7 +204,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		if strings.Contains(name, tmpExt) {
 			// Leftover from a write interrupted by a crash; the rename never
 			// happened, so the record it would have replaced is still intact.
-			_ = os.Remove(filepath.Join(dir, name))
+			_ = fsys.Remove(filepath.Join(dir, name))
 			continue
 		}
 		if strings.HasSuffix(name, corruptExt) {
@@ -171,12 +226,16 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	sort.Slice(corruptFound, func(i, j int) bool { return corruptFound[i].mtime.Before(corruptFound[j].mtime) })
 
 	s := &Store{
-		dir:      dir,
-		maxBytes: maxBytes,
-		ll:       list.New(),
-		files:    make(map[string]*list.Element, len(found)),
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		dir:              dir,
+		maxBytes:         cfg.MaxBytes,
+		fs:               fsys,
+		failureThreshold: cfg.FailureThreshold,
+		probeInterval:    cfg.ProbeInterval,
+		probeKick:        make(chan struct{}, 1),
+		ll:               list.New(),
+		files:            make(map[string]*list.Element, len(found)),
+		kick:             make(chan struct{}, 1),
+		done:             make(chan struct{}),
 	}
 	for i := range found {
 		e := found[i].fileEntry
@@ -188,8 +247,9 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	for _, c := range corruptFound {
 		s.noteCorruptLocked(c.name)
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.evictor()
+	go s.prober()
 	s.signalEvictor() // the indexed backlog may already exceed the bound
 	return s, nil
 }
@@ -224,6 +284,11 @@ func fileName(key string) string {
 // if it was NOT rewritten in between (generation check).
 func (s *Store) Get(key string) (*Record, bool) {
 	defer s.observe(OpGet, time.Now())
+	if s.degraded.Load() {
+		// Breaker open: memory-only mode, the disk is left alone.
+		s.misses.Add(1)
+		return nil, false
+	}
 	name := fileName(key)
 	path := filepath.Join(s.dir, name)
 	s.mu.Lock()
@@ -236,7 +301,13 @@ func (s *Store) Get(key string) (*Record, bool) {
 	gen := el.Value.(*fileEntry).gen
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(path)
+	var data []byte
+	readErr := s.withRetry(func() error {
+		var err error
+		data, err = s.fs.ReadFile(path)
+		return err
+	})
+	err := readErr
 	var rec *Record
 	if err == nil {
 		rec, err = Decode(data)
@@ -254,22 +325,33 @@ func (s *Store) Get(key string) (*Record, bool) {
 	}
 	if err != nil {
 		if el.Value.(*fileEntry).gen == gen {
-			if os.IsNotExist(err) {
+			switch {
+			case os.IsNotExist(err):
 				// Vanished under us (external deletion): nothing to rename.
 				s.dropLocked(name, el)
-			} else {
+			case err == readErr:
+				// The disk failed before any bytes could be judged: that is
+				// an I/O fault for the breaker, not corruption to
+				// quarantine — the record may be perfectly fine once the
+				// disk recovers.
+				s.dropLocked(name, el)
+			default:
 				s.quarantineLocked(name, el)
 			}
 		}
 		s.mu.Unlock()
 		s.misses.Add(1)
+		if err == readErr && !os.IsNotExist(err) {
+			s.opFailed()
+		}
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
 	s.mu.Unlock()
 	// Best-effort mtime bump so the on-disk LRU order survives a restart.
 	now := time.Now()
-	_ = os.Chtimes(path, now, now)
+	_ = s.fs.Chtimes(path, now, now)
+	s.opSucceeded()
 	s.hits.Add(1)
 	return rec, true
 }
@@ -280,26 +362,42 @@ func (s *Store) Get(key string) (*Record, bool) {
 // a complete record or none.
 func (s *Store) Put(rec *Record) error {
 	defer s.observe(OpPut, time.Now())
+	if s.degraded.Load() {
+		// Breaker open: drop the write without touching the disk. The
+		// caller already treats persistence as best-effort.
+		return ErrDegraded
+	}
 	data := Encode(rec)
 	name := fileName(rec.Key)
 	final := filepath.Join(s.dir, name)
 
-	tmp, err := os.CreateTemp(s.dir, name+tmpExt+"*")
+	// The temp-file phase (create, write, sync, close) happens outside s.mu
+	// and is where transient disk errors are worth retrying; each failed
+	// attempt removes its temp file so retries never leak files.
+	var tmpName string
+	err := s.withRetry(func() error {
+		tmp, err := s.fs.CreateTemp(s.dir, name+tmpExt+"*")
+		if err != nil {
+			return err
+		}
+		if _, err = tmp.Write(data); err == nil {
+			err = tmp.Sync()
+		} else {
+			_ = tmp.Sync()
+		}
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			_ = s.fs.Remove(tmp.Name())
+			return err
+		}
+		tmpName = tmp.Name()
+		return nil
+	})
 	if err != nil {
 		s.writeErrors.Add(1)
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := tmp.Write(data); err == nil {
-		err = tmp.Sync()
-	} else {
-		_ = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		_ = os.Remove(tmp.Name())
-		s.writeErrors.Add(1)
+		s.opFailed()
 		return fmt.Errorf("store: %w", err)
 	}
 
@@ -308,11 +406,14 @@ func (s *Store) Put(rec *Record) error {
 	// The rename happens under s.mu so it is atomic with the index update:
 	// otherwise a concurrent evictor or quarantine acting on the stale
 	// entry for this name could delete the fresh file before it is
-	// re-indexed, silently losing the write.
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	// re-indexed, silently losing the write. It is deliberately single-try:
+	// retrying with backoff while holding s.mu would stall every store
+	// operation behind a failing disk.
+	if err := s.fs.Rename(tmpName, final); err != nil {
 		s.mu.Unlock()
-		_ = os.Remove(tmp.Name())
+		_ = s.fs.Remove(tmpName)
 		s.writeErrors.Add(1)
+		s.opFailed()
 		return fmt.Errorf("store: %w", err)
 	}
 	if el, ok := s.files[name]; ok {
@@ -332,10 +433,8 @@ func (s *Store) Put(rec *Record) error {
 	// still be unflushed when Put returns. Best-effort: a failure leaves
 	// the record readable in this process and merely weakens crash
 	// durability, like every pre-rename state.
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = s.fs.SyncDir(s.dir)
+	s.opSucceeded()
 	s.writes.Add(1)
 	if over {
 		s.signalEvictor()
@@ -364,8 +463,8 @@ func (s *Store) Quarantine(key string) {
 // it from the index. Caller holds s.mu.
 func (s *Store) quarantineLocked(name string, el *list.Element) {
 	path := filepath.Join(s.dir, name)
-	if err := os.Rename(path, path+corruptExt); err != nil {
-		_ = os.Remove(path) // rename failed; at least stop serving it
+	if err := s.fs.Rename(path, path+corruptExt); err != nil {
+		_ = s.fs.Remove(path) // rename failed; at least stop serving it
 	} else {
 		s.noteCorruptLocked(name + corruptExt)
 	}
@@ -383,7 +482,7 @@ func (s *Store) noteCorruptLocked(name string) {
 	}
 	s.corruptFiles = append(s.corruptFiles, name)
 	for len(s.corruptFiles) > maxCorruptFiles {
-		_ = os.Remove(filepath.Join(s.dir, s.corruptFiles[0]))
+		_ = s.fs.Remove(filepath.Join(s.dir, s.corruptFiles[0]))
 		s.corruptFiles = s.corruptFiles[1:]
 	}
 }
@@ -426,7 +525,7 @@ func (s *Store) evictOnce() int {
 	for s.maxBytes > 0 && s.bytes > s.maxBytes && s.ll.Len() > 0 {
 		el := s.ll.Back()
 		e := el.Value.(*fileEntry)
-		_ = os.Remove(filepath.Join(s.dir, e.name))
+		_ = s.fs.Remove(filepath.Join(s.dir, e.name))
 		s.dropLocked(e.name, el)
 		s.evictions.Add(1)
 		s.evictedBytes.Add(e.size)
@@ -447,12 +546,20 @@ type Metrics struct {
 	CorruptTotal int64 `json:"corrupt_total"`
 	Evictions    int64 `json:"evictions"`
 	EvictedBytes int64 `json:"evicted_bytes"`
+	// Degraded-mode state (see degrade.go).
+	Degraded     bool  `json:"degraded"`
+	Retries      int64 `json:"retries"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	// Quarantined lists the currently retained .corrupt file names, newest
+	// last (capped at maxCorruptFiles).
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // Snapshot returns the store's current metrics.
 func (s *Store) Snapshot() Metrics {
 	s.mu.Lock()
 	entries, bytes := s.ll.Len(), s.bytes
+	quarantined := append([]string(nil), s.corruptFiles...)
 	s.mu.Unlock()
 	return Metrics{
 		Entries:      entries,
@@ -465,5 +572,9 @@ func (s *Store) Snapshot() Metrics {
 		CorruptTotal: s.corrupt.Load(),
 		Evictions:    s.evictions.Load(),
 		EvictedBytes: s.evictedBytes.Load(),
+		Degraded:     s.degraded.Load(),
+		Retries:      s.retries.Load(),
+		BreakerTrips: s.breakerTrips.Load(),
+		Quarantined:  quarantined,
 	}
 }
