@@ -10,6 +10,13 @@
 //	        [-cache 128] [-store-dir DIR] [-store-max-bytes 268435456]
 //	        [-max-body 8388608] [-retention 15m] [-trace-retention 0]
 //	        [-wait-budget 0] [-pipeline-cap 8] [-drain-timeout 30s] [-pprof addr]
+//	        [-peers host:port,...] [-self host:port] [-cluster-poll 1s] [-sync-interval 30s]
+//
+// With -peers the process joins a digest-affinity replica fleet: a
+// consistent-hash ring over graph digests routes every job to its owning
+// replica, so caches, dedup, and the durable store stay shard-local. When
+// -self (default -addr) appears in -peers the process is a combined
+// router+worker; otherwise it is a pure router.
 //
 // On SIGINT/SIGTERM the server drains: new submissions get 503 with a
 // Retry-After estimate, queued jobs are cancelled, and running builds get
@@ -36,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ftspanner/ftspanner/internal/cluster"
 	"github.com/ftspanner/ftspanner/internal/service"
 )
 
@@ -60,6 +68,10 @@ type options struct {
 	addr         string
 	pprofAddr    string
 	drainTimeout time.Duration
+	peers        []string
+	self         string
+	clusterPoll  time.Duration
+	syncInterval time.Duration
 	cfg          service.Config
 }
 
@@ -118,6 +130,15 @@ func parseArgs(args []string) (options, error) {
 	fs.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second,
 		"how long a graceful shutdown (SIGINT/SIGTERM) waits for running builds to finish before cancelling them")
 	fs.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	var peers string
+	fs.StringVar(&peers, "peers", "",
+		"comma-separated fleet peer list (host:port,...); enables digest-affinity routing across the replicas")
+	fs.StringVar(&opts.self, "self", "",
+		"this replica's advertised host:port within -peers (default -addr); absent from -peers means pure-router mode")
+	fs.DurationVar(&opts.clusterPoll, "cluster-poll", time.Second,
+		"peer health/queue summary poll interval behind fleet backpressure and drain-aware routing")
+	fs.DurationVar(&opts.syncInterval, "sync-interval", 30*time.Second,
+		"anti-entropy sweep interval: how often this replica pulls store records it is missing from peers (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -152,8 +173,40 @@ func parseArgs(args []string) (options, error) {
 		}
 	}
 	opts.cfg.QueueCaps = caps
+	if peers != "" {
+		for _, p := range strings.Split(peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return options{}, fmt.Errorf("peers: empty entry in %q", peers)
+			}
+			opts.peers = append(opts.peers, p)
+		}
+		if opts.clusterPoll <= 0 {
+			return options{}, fmt.Errorf("cluster-poll must be positive, got %v", opts.clusterPoll)
+		}
+		if opts.syncInterval < 0 {
+			return options{}, fmt.Errorf("sync-interval must be non-negative, got %v", opts.syncInterval)
+		}
+		if opts.self == "" {
+			opts.self = opts.addr
+		}
+	}
 	opts.cfg.Version = buildVersion()
 	return opts, nil
+}
+
+// hardenedServer builds an http.Server that a slow-header client cannot
+// pin forever (slowloris): connections must deliver their headers and turn
+// over idle keep-alives within a bound. WriteTimeout stays zero on purpose
+// — NDJSON event streams are long-lived and an overall write deadline
+// would sever them mid-job.
+func hardenedServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // pprofMux returns a mux serving exactly the net/http/pprof handlers,
@@ -192,14 +245,40 @@ func run(opts options) int {
 	}
 	defer svc.Close()
 
-	httpSrv := &http.Server{Addr: opts.addr, Handler: svc}
+	// With -peers the public listener fronts the fleet node, which routes
+	// by graph digest and serves the local ring segment through svc.
+	var handler http.Handler = svc
+	if len(opts.peers) > 0 {
+		node, err := cluster.New(cluster.Config{
+			Self:         opts.self,
+			Peers:        opts.peers,
+			Local:        svc,
+			PollInterval: opts.clusterPoll,
+			SyncInterval: opts.syncInterval,
+			MaxBodyBytes: opts.cfg.MaxBodyBytes,
+		})
+		if err != nil {
+			log.Printf("ftserve: %v", err)
+			return 1
+		}
+		defer node.Close()
+		handler = node
+		mode := "router+worker"
+		if node.Ring().Index(opts.self) < 0 {
+			mode = "pure router"
+		}
+		log.Printf("ftserve: fleet of %d peers, self=%s (%s)", len(node.Ring().Peers()), opts.self, mode)
+	}
+
+	httpSrv := hardenedServer(opts.addr, handler)
 
 	// Profiling is opt-in and served on its own listener so the debug
-	// surface never shares a port with the public job API.
+	// surface never shares a port with the public job API. It gets the
+	// same hardened timeouts as the public listener.
 	if opts.pprofAddr != "" {
 		go func() {
 			log.Printf("ftserve: pprof on http://%s/debug/pprof/", opts.pprofAddr)
-			if err := http.ListenAndServe(opts.pprofAddr, pprofMux()); err != nil {
+			if err := hardenedServer(opts.pprofAddr, pprofMux()).ListenAndServe(); err != nil {
 				log.Printf("ftserve: pprof server: %v", err)
 			}
 		}()

@@ -126,3 +126,68 @@ func TestParseArgsRejectsBadValues(t *testing.T) {
 		}
 	}
 }
+
+// TestHardenedServerTimeouts pins the slowloris fix: the public (and
+// pprof/cluster) listeners must bound header reads and idle keep-alives,
+// while WriteTimeout stays zero so long-lived NDJSON event streams are
+// never severed. The old code built http.Server{Addr, Handler} with every
+// timeout zero.
+func TestHardenedServerTimeouts(t *testing.T) {
+	srv := hardenedServer(":0", nil)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout = %v, want > 0 (slowloris guard)", srv.ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v, want > 0", srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (event streams are long-lived)", srv.WriteTimeout)
+	}
+}
+
+func TestParseArgsFleetFlags(t *testing.T) {
+	opts, err := parseArgs([]string{
+		"-addr", "10.0.0.1:8437",
+		"-peers", "10.0.0.1:8437, 10.0.0.2:8437,10.0.0.3:8437",
+		"-cluster-poll", "250ms", "-sync-interval", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.peers) != 3 || opts.peers[1] != "10.0.0.2:8437" {
+		t.Errorf("parsed peers %v", opts.peers)
+	}
+	if opts.self != "10.0.0.1:8437" {
+		t.Errorf("self defaulted to %q, want the -addr value", opts.self)
+	}
+	if opts.clusterPoll != 250*time.Millisecond || opts.syncInterval != 10*time.Second {
+		t.Errorf("cluster intervals %v / %v", opts.clusterPoll, opts.syncInterval)
+	}
+
+	opts, err = parseArgs([]string{"-peers", "a:1,b:2", "-self", "c:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.self != "c:3" {
+		t.Errorf("explicit -self %q", opts.self)
+	}
+
+	// No -peers leaves the fleet disabled regardless of the other flags.
+	opts, err = parseArgs([]string{"-self", "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.peers) != 0 {
+		t.Errorf("peers %v without -peers flag", opts.peers)
+	}
+
+	for _, args := range [][]string{
+		{"-peers", "a:1,,b:2"},
+		{"-peers", "a:1", "-cluster-poll", "0s"},
+		{"-peers", "a:1", "-sync-interval", "-1s"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) accepted invalid fleet config", args)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package cluster shards ftserve into a digest-affinity replica fleet: a
+// consistent-hash ring assigns every graph digest an owning replica, a
+// router proxies job traffic to the owner (with bounded retry and one
+// hedged fallback to the ring successor), and a pull-based anti-entropy
+// sweep warms each replica's durable store from its peers.
+//
+// The design leans entirely on determinism: the Bodwin–Patel construction
+// is deterministic and every result is content-addressed by Graph.Digest(),
+// so replicas need no consensus — digest affinity alone makes the result
+// cache, in-flight dedup, and the durable store shard-local, and any
+// replica can serve any record it happens to hold.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per peer: enough that the load
+// split stays within a few percent of even for small fleets, cheap enough
+// that ring construction is microseconds.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over graph digests. Peers are
+// identified by their advertised host:port strings; the ring is a pure
+// function of the peer SET — the caller's list order never influences
+// ownership, so replicas configured with permuted -peers flags agree on
+// every digest's owner.
+type Ring struct {
+	peers  []string // sorted, deduplicated
+	points []point  // vnode hash points, sorted by hash
+}
+
+// point maps one virtual node's position to its peer's index in r.peers.
+type point struct {
+	hash uint64
+	peer int
+}
+
+// NewRing builds a ring with vnodes virtual nodes per peer (DefaultVNodes
+// when vnodes <= 0). Duplicate peers are collapsed. An empty peer list
+// yields a ring whose Owner returns -1.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq, points: make([]point, 0, len(uniq)*vnodes)}
+	for i, p := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", p, v)), peer: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by peer so permuted input
+		// still builds the identical ring.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// hash64 is the ring's hash: the first 8 bytes of sha256, which is already
+// the digest family Graph.Digest() uses.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Peers returns the ring's sorted peer list. The returned slice is shared;
+// callers must not mutate it.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Index returns the ring index of peer, or -1 when absent.
+func (r *Ring) Index(peer string) int {
+	i := sort.SearchStrings(r.peers, peer)
+	if i < len(r.peers) && r.peers[i] == peer {
+		return i
+	}
+	return -1
+}
+
+// Owner returns the index (into Peers) of the replica owning digest, or -1
+// on an empty ring.
+func (r *Ring) Owner(digest string) int {
+	succ := r.Successors(digest, 1)
+	if len(succ) == 0 {
+		return -1
+	}
+	return succ[0]
+}
+
+// Successors returns up to n distinct peer indexes in ring order starting
+// at digest's owner: the owner first, then the fallback replicas a router
+// hedges to when the owner is down or draining.
+func (r *Ring) Successors(digest string, n int) []int {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := hash64(digest)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingStableAcrossReordering pins the property the fleet depends on:
+// every permutation of the same -peers list yields identical ownership for
+// every digest, so replicas never disagree about who owns a graph.
+func TestRingStableAcrossReordering(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3", "d:4", "e:5"}
+	base := NewRing(peers, 32)
+	rng := rand.New(rand.NewSource(7))
+	digests := make([]string, 200)
+	for i := range digests {
+		digests[i] = fmt.Sprintf("sha256:%032x", rng.Uint64())
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 32)
+		for _, d := range digests {
+			if got, want := r.Peers()[r.Owner(d)], base.Peers()[base.Owner(d)]; got != want {
+				t.Fatalf("owner of %s changed under permutation %v: %s != %s", d, shuffled, got, want)
+			}
+		}
+	}
+}
+
+// TestRingDuplicatePeersCollapse checks a doubled peer entry does not get a
+// doubled key-space share.
+func TestRingDuplicatePeersCollapse(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:2", "a:1"}, 16)
+	if got := len(r.Peers()); got != 2 {
+		t.Fatalf("peers = %d, want 2", got)
+	}
+}
+
+// TestRingSuccessorsDistinct checks Successors walks the ring without
+// repeating peers and starts at the owner.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:2", "c:3"}, 16)
+	for i := 0; i < 50; i++ {
+		d := fmt.Sprintf("digest-%d", i)
+		succ := r.Successors(d, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%q) = %v, want 3 distinct", d, succ)
+		}
+		if succ[0] != r.Owner(d) {
+			t.Fatalf("successors(%q)[0] = %d, owner = %d", d, succ[0], r.Owner(d))
+		}
+		seen := map[int]bool{}
+		for _, p := range succ {
+			if seen[p] {
+				t.Fatalf("successors(%q) repeats peer %d: %v", d, p, succ)
+			}
+			seen[p] = true
+		}
+	}
+	if got := r.Successors("x", 10); len(got) != 3 {
+		t.Fatalf("successors capped at fleet size: got %v", got)
+	}
+}
+
+// TestRingBalance sanity-checks the vnode split: with 64 vnodes each of 4
+// peers should own a non-trivial share of random digests.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:2", "c:3", "d:4"}, DefaultVNodes)
+	counts := make([]int, 4)
+	rng := rand.New(rand.NewSource(11))
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("sha256:%032x%032x", rng.Uint64(), rng.Uint64()))]++
+	}
+	for i, c := range counts {
+		if c < n/10 {
+			t.Errorf("peer %d owns %d/%d digests — ring badly unbalanced: %v", i, c, n, counts)
+		}
+	}
+}
+
+// TestRingEmpty covers the degenerate rings.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 8)
+	if got := r.Owner("x"); got != -1 {
+		t.Fatalf("empty ring owner = %d, want -1", got)
+	}
+	if got := r.Successors("x", 2); got != nil {
+		t.Fatalf("empty ring successors = %v, want nil", got)
+	}
+	if got := r.Index("a:1"); got != -1 {
+		t.Fatalf("Index on empty ring = %d, want -1", got)
+	}
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/store"
+)
+
+// Anti-entropy: each replica periodically pulls record files it is missing
+// from its peers. The records are CRC-self-verifying (the store codec
+// rejects any torn or corrupt transfer), so pulls are blind — no digest
+// negotiation, no versioning, no coordination. The sweep is what turns
+// "the fleet eventually holds every result somewhere reachable" into "a
+// restarted or re-sharded replica warms itself": after a ring change the
+// new owner of a segment pulls the old owner's records on the next sweep.
+
+// SweepResult summarizes one anti-entropy pass.
+type SweepResult struct {
+	// Peers is how many peers answered their record listing.
+	Peers int
+	// Pulled is how many missing records were fetched and imported.
+	Pulled int
+	// Rejected is how many fetched records the codec refused (corrupt or
+	// torn transfer) — they are re-pulled on the next sweep.
+	Rejected int
+}
+
+// SweepOnce runs one full anti-entropy pass: list every peer's records,
+// pull the ones the local store is missing, import through the verifying
+// codec. A node without a local durable store sweeps nothing.
+func (n *Node) SweepOnce(ctx context.Context) (SweepResult, error) {
+	var res SweepResult
+	if n.cfg.Local == nil {
+		return res, errors.New("cluster: pure router has no store to sync")
+	}
+	st := n.cfg.Local.Store()
+	if st == nil {
+		return res, errors.New("cluster: local service has no durable store")
+	}
+	var firstErr error
+	for idx, peer := range n.ring.Peers() {
+		if idx == n.selfIdx {
+			continue
+		}
+		if err := n.sweepPeer(ctx, peer, st, &res); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("peer %s: %w", peer, err)
+			}
+			continue
+		}
+		res.Peers++
+	}
+	n.syncSweeps.Add(1)
+	n.syncPulled.Add(int64(res.Pulled))
+	n.syncRejected.Add(int64(res.Rejected))
+	return res, firstErr
+}
+
+// sweepPeer pulls one peer's missing records into st.
+func (n *Node) sweepPeer(ctx context.Context, peer string, st *store.Store, res *SweepResult) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/v1/cluster/records", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.api.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("record listing: status %d", resp.StatusCode)
+	}
+	var listing struct {
+		Records []store.RecordInfo `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return err
+	}
+	for _, rec := range listing.Records {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if st.HasFile(rec.Name) {
+			continue
+		}
+		data, err := n.pullRecord(ctx, peer, rec.Name)
+		if err != nil {
+			return err
+		}
+		if _, imported, err := st.ImportEncoded(data); err != nil {
+			// Corrupt transfer: count it and move on — the record is
+			// still on the peer, the next sweep retries.
+			res.Rejected++
+		} else if imported {
+			res.Pulled++
+		}
+	}
+	return nil
+}
+
+// pullRecord fetches one record file's raw bytes from peer.
+func (n *Node) pullRecord(ctx context.Context, peer, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/v1/cluster/records/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.api.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("pull %s: status %d", name, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// syncLoop runs SweepOnce at SyncInterval until Close.
+func (n *Node) syncLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.SyncInterval)
+			_, _ = n.SweepOnce(ctx)
+			cancel()
+		}
+	}
+}

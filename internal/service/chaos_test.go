@@ -166,6 +166,7 @@ func TestChaosEndToEnd(t *testing.T) {
 		StoreDir:           storeDir,
 		StoreFS:            ifs,
 		StoreProbeInterval: 5 * time.Millisecond,
+		StoreRetrySeed:     seed + 3,
 		Chaos:              panicker.hook,
 	})
 

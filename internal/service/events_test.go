@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Coverage for the GET /v1/jobs/{id}/events handler's exits: a client
+// disconnect mid-stream and a server Close mid-stream must both end the
+// handler goroutine (no leak parked on the job's update channel), and the
+// shutdown path must still deliver the terminal event. The third exit — a
+// proxied stream through the fleet router relaying the terminal event —
+// lives in internal/cluster's e2e suite.
+
+// waitGoroutines polls until the process goroutine count settles at or
+// below limit, dumping all stacks on timeout.
+func waitGoroutines(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= limit {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine count %d never settled to %d:\n%s", runtime.NumGoroutine(), limit, buf[:n])
+}
+
+// TestEventsClientDisconnectEndsHandler cancels a streaming request
+// mid-job and checks the handler goroutine (and its connection) unwind
+// instead of parking on the job's update channel forever.
+func TestEventsClientDisconnectEndsHandler(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	sub := submitJob(t, ts, slowSpec(1))
+	waitState(t, ts, sub.ID, StateRunning)
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+sub.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	resp, err := (&http.Client{Transport: tr}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The stream is live: at least one event arrives before we hang up.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no event before disconnect: %v", sc.Err())
+	}
+	cancel()
+
+	// The handler and both connection halves must unwind; the build keeps
+	// running (streams are observers, not owners).
+	waitGoroutines(t, baseline)
+	if st := waitState(t, ts, sub.ID, StateDone); st.State != StateDone {
+		t.Fatalf("job state %s after disconnect, want done", st.State)
+	}
+}
+
+// TestEventsServerCloseEndsHandler closes the server under an open stream
+// and checks the handler delivers the job's terminal event before ending —
+// the documented shutdown race where s.ctx.Done and the final update are
+// both ready — and does not leak.
+func TestEventsServerCloseEndsHandler(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	sub := submitJob(t, ts, slowSpec(2))
+	waitState(t, ts, sub.ID, StateRunning)
+
+	baseline := runtime.NumGoroutine()
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	resp, err := (&http.Client{Transport: tr}).Get(ts.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no event before close: %v", sc.Err())
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+
+	// Drain the stream to EOF; the last line must be a terminal state
+	// (cancelled: Close cancels the running build's context).
+	last := Event{}
+	_ = json.Unmarshal(sc.Bytes(), &last)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if !last.State.Terminal() {
+		t.Fatalf("stream ended on non-terminal event %+v — shutdown lost the terminal event", last)
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server Close never returned")
+	}
+	// Handler plus the server's worker/janitor goroutines are gone; only
+	// the test's own connection teardown remains in flight.
+	waitGoroutines(t, baseline)
+}

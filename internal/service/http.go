@@ -27,6 +27,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/cluster/summary", s.handleClusterSummary)
+	s.mux.HandleFunc("GET /v1/cluster/records", s.handleClusterRecords)
+	s.mux.HandleFunc("GET /v1/cluster/records/{name}", s.handleClusterRecord)
 }
 
 // errorBody is the JSON shape of every non-2xx response.

@@ -108,6 +108,10 @@ type Config struct {
 	// disk (store.Config.ProbeInterval); zero selects the store default.
 	// Test-only: short intervals make breaker re-arm observable quickly.
 	StoreProbeInterval time.Duration
+	// StoreRetrySeed seeds the store's retry-jitter randomness
+	// (store.Config.JitterSeed) so chaos runs replay deterministically under
+	// CHAOS_SEED; zero lets the store pick a time-based seed.
+	StoreRetrySeed int64
 }
 
 const (
@@ -212,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 			MaxBytes:      cfg.StoreMaxBytes,
 			FS:            cfg.StoreFS,
 			ProbeInterval: cfg.StoreProbeInterval,
+			JitterSeed:    cfg.StoreRetrySeed,
 		})
 		if err != nil {
 			return nil, err

@@ -11,7 +11,6 @@ package store
 
 import (
 	"errors"
-	"math/rand"
 	"os"
 	"syscall"
 	"time"
@@ -77,7 +76,7 @@ var ErrDegraded = errors.New("store: degraded (memory-only mode)")
 // exponential backoff. Non-transient failures and exhaustion return the last
 // error unchanged.
 func (s *Store) withRetry(op func() error) error {
-	delay := retryBaseDelay
+	delay := s.retryBase
 	for attempt := 1; ; attempt++ {
 		err := op()
 		if err == nil || os.IsNotExist(err) {
@@ -88,8 +87,18 @@ func (s *Store) withRetry(op func() error) error {
 		}
 		s.retries.Add(1)
 		// Jitter in [delay/2, delay): concurrent retries against a stressed
-		// disk should not re-collide in lockstep.
-		time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay)/2)))
+		// disk should not re-collide in lockstep. A sub-2ns configured base
+		// delay has no jitter range at all — rand.Int63n would panic on a
+		// non-positive bound — so the guard sleeps the bare half-delay. The
+		// source is the store's own seeded rng, not the global one, so chaos
+		// runs replay byte-identically under CHAOS_SEED.
+		sleep := delay / 2
+		if half := int64(delay) / 2; half > 0 {
+			s.jitterMu.Lock()
+			sleep += time.Duration(s.jitter.Int63n(half))
+			s.jitterMu.Unlock()
+		}
+		time.Sleep(sleep)
 		if delay *= 2; delay > retryMaxDelay {
 			delay = retryMaxDelay
 		}

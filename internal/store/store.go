@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -61,9 +62,14 @@ type Store struct {
 
 	// Degraded-mode state (degrade.go): the breaker trips after
 	// failureThreshold consecutive failed operations and is re-armed by the
-	// prober goroutine.
+	// prober goroutine. retryBase seeds the backoff ladder; jitter is the
+	// store's own seeded source so retry timing is reproducible under a
+	// fixed Config.JitterSeed.
 	failureThreshold int
 	probeInterval    time.Duration
+	retryBase        time.Duration
+	jitterMu         sync.Mutex
+	jitter           *rand.Rand
 	breakerMu        sync.Mutex
 	consecFails      int
 	degraded         atomic.Bool
@@ -96,6 +102,14 @@ type Config struct {
 	// ProbeInterval is how often the background probe re-tests a degraded
 	// disk (default 2s). Tests shorten it to observe re-arming quickly.
 	ProbeInterval time.Duration
+	// RetryBaseDelay is the first backoff delay of the transient-I/O retry
+	// ladder (default 2ms). Any positive value is accepted — sub-nanosecond
+	// jitter ranges are handled, not panicked on.
+	RetryBaseDelay time.Duration
+	// JitterSeed seeds the retry-jitter randomness so fault-injected runs
+	// replay deterministically (chaos suites pass CHAOS_SEED through here).
+	// Zero seeds from the clock.
+	JitterSeed int64
 }
 
 // Op names a store operation for the latency observer.
@@ -178,6 +192,12 @@ func OpenConfig(cfg Config) (*Store, error) {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = defaultProbeInterval
 	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = retryBaseDelay
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = time.Now().UnixNano()
+	}
 	dir := cfg.Dir
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -222,8 +242,23 @@ func OpenConfig(cfg Config) (*Store, error) {
 		}
 		found = append(found, scanned{fileEntry{name: name, size: info.Size()}, info.ModTime()})
 	}
-	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
-	sort.Slice(corruptFound, func(i, j int) bool { return corruptFound[i].mtime.Before(corruptFound[j].mtime) })
+	// Mtime orders the reopened LRU, with the file name as a stable
+	// tie-break: records written within one clock tick (bulk anti-entropy
+	// imports, coarse-mtime filesystems) would otherwise reopen in whatever
+	// order the unstable sort left them, making eviction nondeterministic
+	// across restarts of the same directory.
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].name < found[j].name
+	})
+	sort.Slice(corruptFound, func(i, j int) bool {
+		if !corruptFound[i].mtime.Equal(corruptFound[j].mtime) {
+			return corruptFound[i].mtime.Before(corruptFound[j].mtime)
+		}
+		return corruptFound[i].name < corruptFound[j].name
+	})
 
 	s := &Store{
 		dir:              dir,
@@ -231,6 +266,8 @@ func OpenConfig(cfg Config) (*Store, error) {
 		fs:               fsys,
 		failureThreshold: cfg.FailureThreshold,
 		probeInterval:    cfg.ProbeInterval,
+		retryBase:        cfg.RetryBaseDelay,
+		jitter:           rand.New(rand.NewSource(cfg.JitterSeed)),
 		probeKick:        make(chan struct{}, 1),
 		ll:               list.New(),
 		files:            make(map[string]*list.Element, len(found)),
@@ -532,6 +569,85 @@ func (s *Store) evictOnce() int {
 		evicted++
 	}
 	return evicted
+}
+
+// RecordInfo describes one live record file, as advertised to fleet peers
+// for anti-entropy pulls.
+type RecordInfo struct {
+	// Name is the record's base file name (hex SHA-256 of its key + ".ftr").
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// List snapshots the live record set, most recently used first. The listing
+// is what a replica advertises to peers; pulling is driven from the hot end
+// so a budgeted sweep warms the most valuable records first.
+func (s *Store) List() []RecordInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := make([]RecordInfo, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*fileEntry)
+		infos = append(infos, RecordInfo{Name: e.name, Size: e.size})
+	}
+	return infos
+}
+
+// HasFile reports whether the named record file is in the live index — the
+// cheap membership test an anti-entropy sweep runs before pulling bytes.
+func (s *Store) HasFile(name string) bool {
+	s.mu.Lock()
+	_, ok := s.files[name]
+	s.mu.Unlock()
+	return ok
+}
+
+// ExportRaw returns the encoded bytes of a live record by base file name, for
+// serving to a fleet peer. The name must be in the live index (which also
+// makes it a safe path component — index names are fileName outputs, never
+// client-supplied paths). ok=false covers both unknown names and a degraded
+// store.
+func (s *Store) ExportRaw(name string) (data []byte, ok bool) {
+	if s.degraded.Load() {
+		return nil, false
+	}
+	if !s.HasFile(name) {
+		return nil, false
+	}
+	err := s.withRetry(func() error {
+		var rerr error
+		data, rerr = s.fs.ReadFile(filepath.Join(s.dir, name))
+		return rerr
+	})
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.opFailed()
+		}
+		return nil, false
+	}
+	s.opSucceeded()
+	return data, true
+}
+
+// ImportEncoded ingests one encoded record pulled from a peer: the bytes are
+// decoded through the same CRC-checked codec every local read uses, so a
+// torn or tampered pull is rejected (wrapping ErrCorrupt) before anything
+// touches the disk — blind pulls are safe. A record already present is
+// skipped (imported=false); otherwise it is written through Put, inheriting
+// atomic-rename durability and the byte-bound evictor.
+func (s *Store) ImportEncoded(data []byte) (key string, imported bool, err error) {
+	rec, err := Decode(data)
+	if err != nil {
+		return "", false, err
+	}
+	name := fileName(rec.Key)
+	if s.HasFile(name) {
+		return rec.Key, false, nil
+	}
+	if err := s.Put(rec); err != nil {
+		return rec.Key, false, err
+	}
+	return rec.Key, true, nil
 }
 
 // Metrics is a point-in-time snapshot of the store's counters and gauges.

@@ -1,9 +1,11 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -423,7 +425,7 @@ func TestLRUOrderSurvivesRestart(t *testing.T) {
 		}
 	}
 	s1.Close()
-	// Pin unambiguous mtimes (writes can land within one clock tick).
+	// Distinct mtimes a minute apart encode the access order under test.
 	base := time.Now().Add(-time.Hour)
 	for i, k := range []string{"old", "mid", "new"} {
 		mt := base.Add(time.Duration(i) * time.Minute)
@@ -469,5 +471,113 @@ func TestConcurrentPutGet(t *testing.T) {
 	}
 	if m := s.Snapshot(); m.Writes != 200 || m.CorruptTotal != 0 {
 		t.Fatalf("metrics %+v after concurrent traffic", m)
+	}
+}
+
+// reverseDirFS feeds Open a directory listing in reverse name order: with
+// every mtime equal, the reopen scan's sort gets no signal from mtimes, so
+// any order it produces comes from the tie-break (or, before the fix, from
+// whatever the unstable sort preserved of this adversarial input order).
+type reverseDirFS struct {
+	OSFS
+}
+
+func (r reverseDirFS) ReadDir(name string) ([]os.DirEntry, error) {
+	entries, err := r.OSFS.ReadDir(name)
+	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
+		entries[i], entries[j] = entries[j], entries[i]
+	}
+	return entries, err
+}
+
+// TestReopenOrderDeterministicOnEqualMtimes: records written within one
+// clock tick (anti-entropy bulk imports make that the common case) must
+// reopen in a deterministic LRU order — the name tie-break — regardless of
+// directory enumeration order.
+func TestReopenOrderDeterministicOnEqualMtimes(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, -1)
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	names := make([]string, len(keys))
+	for i, k := range keys {
+		rec := sampleRecord()
+		rec.Key = k
+		if err := s1.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = fileName(k)
+	}
+	s1.Close()
+	// One shared mtime: the coarse-clock / same-tick scenario.
+	mt := time.Now().Add(-time.Hour)
+	for _, n := range names {
+		if err := os.Chtimes(filepath.Join(dir, n), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := OpenConfig(Config{Dir: dir, MaxBytes: -1, FS: reverseDirFS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.List()
+	if len(got) != len(names) {
+		t.Fatalf("reopened with %d records, want %d", len(got), len(names))
+	}
+	// Ascending-name scan order pushes front, so List (MRU first) must be
+	// descending by name.
+	sorted := append([]string(nil), names...)
+	sort.Sort(sort.Reverse(sort.StringSlice(sorted)))
+	for i, info := range got {
+		if info.Name != sorted[i] {
+			t.Fatalf("reopen order position %d is %s, want %s (full order %v)", i, info.Name, sorted[i], got)
+		}
+	}
+}
+
+// TestListExportImportRoundTrip drives the anti-entropy surface: a record
+// listed and exported from one store imports into an empty peer store and
+// round-trips byte-identically, re-imports are skipped, and corrupt pulls
+// are rejected before touching the disk.
+func TestListExportImportRoundTrip(t *testing.T) {
+	src := mustOpen(t, t.TempDir(), -1)
+	rec := sampleRecord()
+	if err := src.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	infos := src.List()
+	if len(infos) != 1 || infos[0].Name != fileName(rec.Key) || infos[0].Size <= 0 {
+		t.Fatalf("List = %+v", infos)
+	}
+	data, ok := src.ExportRaw(infos[0].Name)
+	if !ok {
+		t.Fatal("ExportRaw missed a live record")
+	}
+	if _, ok := src.ExportRaw("nope" + fileExt); ok {
+		t.Fatal("ExportRaw served an unindexed name")
+	}
+
+	dst := mustOpen(t, t.TempDir(), -1)
+	key, imported, err := dst.ImportEncoded(data)
+	if err != nil || !imported || key != rec.Key {
+		t.Fatalf("ImportEncoded = (%q, %v, %v)", key, imported, err)
+	}
+	got, ok := dst.Get(rec.Key)
+	if !ok || !recordsEqual(rec, got) {
+		t.Fatalf("imported record round trip: ok=%v got=%+v", ok, got)
+	}
+	if _, imported, err := dst.ImportEncoded(data); err != nil || imported {
+		t.Fatalf("re-import = (%v, %v), want skip", imported, err)
+	}
+
+	// A flipped payload byte must be caught by the codec CRC, not written.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0x40
+	if _, _, err := dst.ImportEncoded(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt import error = %v, want ErrCorrupt", err)
+	}
+	if n := dst.Snapshot().Entries; n != 1 {
+		t.Fatalf("store has %d entries after corrupt import, want 1", n)
 	}
 }
