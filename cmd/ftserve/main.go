@@ -9,6 +9,7 @@
 //	ftserve [-addr :8437] [-workers 4] [-queue 64] [-queue-caps high=32,normal=48,low=16]
 //	        [-cache 128] [-store-dir DIR] [-store-max-bytes 268435456]
 //	        [-max-body 8388608] [-retention 15m] [-trace-retention 0]
+//	        [-session-retention 30m] [-max-sessions 64]
 //	        [-wait-budget 0] [-pipeline-cap 8] [-drain-timeout 30s] [-pprof addr]
 //	        [-peers host:port,...] [-self host:port] [-cluster-poll 1s] [-sync-interval 30s]
 //
@@ -123,6 +124,10 @@ func parseArgs(args []string) (options, error) {
 		"how long finished jobs stay addressable before eviction (0 for the default, negative to keep forever)")
 	fs.DurationVar(&opts.cfg.TraceRetention, "trace-retention", 0,
 		"how long finished jobs' lifecycle traces stay readable at /v1/jobs/{id}/trace (0 matches -retention, negative never drops early)")
+	fs.DurationVar(&opts.cfg.SessionRetention, "session-retention", 0,
+		"how long an idle live session stays open before eviction (0 for the 30m default, negative to keep forever)")
+	fs.IntVar(&opts.cfg.MaxSessions, "max-sessions", 0,
+		"ceiling of concurrently open live sessions; creations beyond it get 429 (0 for the default of 64, negative for unlimited)")
 	fs.DurationVar(&opts.cfg.WaitBudget, "wait-budget", 0,
 		"queue-wait budget per priority class: when a class's recent p90 wait (or head-of-line age) exceeds it, submissions get 429 (0 disables shedding)")
 	fs.IntVar(&opts.cfg.PipelineCap, "pipeline-cap", 8,

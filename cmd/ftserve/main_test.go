@@ -45,6 +45,25 @@ func TestParseArgsObservabilityFlags(t *testing.T) {
 	}
 }
 
+func TestParseArgsSessionFlags(t *testing.T) {
+	opts, err := parseArgs([]string{"-session-retention", "5m", "-max-sessions", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.SessionRetention != 5*time.Minute || opts.cfg.MaxSessions != 8 {
+		t.Errorf("parsed session config %+v", opts.cfg)
+	}
+	// Zero values defer to the service defaults; negatives mean
+	// keep-forever / unlimited and must parse.
+	opts, err = parseArgs([]string{"-session-retention", "-1s", "-max-sessions", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.SessionRetention >= 0 || opts.cfg.MaxSessions != -1 {
+		t.Errorf("parsed negative session config %+v", opts.cfg)
+	}
+}
+
 func TestParseArgsOverrides(t *testing.T) {
 	opts, err := parseArgs([]string{"-addr", "127.0.0.1:9000", "-workers", "8", "-queue", "2", "-cache", "16", "-max-body", "1024"})
 	if err != nil {

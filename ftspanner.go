@@ -96,6 +96,47 @@ type (
 	CacheKey = service.CacheKey
 	// MetricsSnapshot is a Server's GET /metrics payload.
 	MetricsSnapshot = service.MetricsSnapshot
+	// SessionSpec opens a long-lived graph session on a Server
+	// (POST /v1/sessions): a mutable graph whose spanner is maintained
+	// incrementally across delta batches.
+	SessionSpec = service.SessionSpec
+	// SessionEvent is one entry in a session's NDJSON lifecycle stream
+	// (GET /v1/sessions/{id}/events).
+	SessionEvent = service.SessionEvent
+)
+
+// Incremental maintenance types, re-exported from the core engine. An
+// Incremental engine holds a mutable graph plus its fault-tolerant greedy
+// spanner and applies delta batches (ApplyBatch) by re-scanning only the
+// disturbed weight suffix, falling back to a full rebuild when a batch
+// dirties too much of the scan order. The maintained kept set is always
+// identical to a from-scratch greedy build of the current graph.
+type (
+	// MutableGraph is a Graph supporting edge insertion and tombstoned
+	// deletion, the substrate of an Incremental engine and a session.
+	MutableGraph = graph.Mutable
+	// IncrementalOptions configures an Incremental engine.
+	IncrementalOptions = core.IncrementalOptions
+	// Incremental maintains a fault-tolerant greedy spanner under edge
+	// insertions and deletions.
+	Incremental = core.Incremental
+	// Delta is one mutation in a Batch.
+	Delta = core.Delta
+	// Batch is an atomic group of deltas applied by Incremental.ApplyBatch.
+	Batch = core.Batch
+	// BatchResult reports the spanner membership changes and work counters
+	// of one applied Batch.
+	BatchResult = core.BatchResult
+)
+
+// Delta operations for Batch.Deltas.
+const (
+	// DeltaInsert adds a new edge.
+	DeltaInsert = core.DeltaInsert
+	// DeltaDelete removes a live edge.
+	DeltaDelete = core.DeltaDelete
+	// DeltaFaultVertex removes every live edge incident to a vertex.
+	DeltaFaultVertex = core.DeltaFaultVertex
 )
 
 // Job scheduling classes for JobSpec.Priority. Under a saturated worker
@@ -129,6 +170,13 @@ func GraphDigest(g *Graph) string { return g.Digest() }
 //	defer srv.Close()
 //	http.ListenAndServe(":8437", srv)
 func NewServer(cfg ServerConfig) (*Server, error) { return service.New(cfg) }
+
+// NewIncremental returns an incremental maintenance engine over initial
+// (nil for an empty graph) with its spanner already built. Apply mutations
+// with ApplyBatch; read the current graph and kept edge set with Current.
+func NewIncremental(initial *Graph, opts IncrementalOptions) (*Incremental, error) {
+	return core.NewIncremental(initial, opts)
+}
 
 // Build runs the fault-tolerant greedy algorithm with full control over the
 // options. Most callers use BuildVFT or BuildEFT. With Options.Parallelism

@@ -91,6 +91,7 @@ type Node struct {
 	syncSweeps   atomic.Int64
 	syncPulled   atomic.Int64
 	syncRejected atomic.Int64
+	syncErrors   atomic.Int64
 
 	done      chan struct{}
 	wg        sync.WaitGroup
@@ -170,6 +171,15 @@ func (n *Node) routes() {
 	n.mux.HandleFunc("GET /v1/cluster/summary", n.local)
 	n.mux.HandleFunc("GET /v1/cluster/records", n.local)
 	n.mux.HandleFunc("GET /v1/cluster/records/{name}", n.local)
+	// Live graph sessions are replica-local state (a session's mutable
+	// graph lives in one process), so they bypass digest-affinity routing
+	// and bind to this node's own service.
+	n.mux.HandleFunc("POST /v1/sessions", n.local)
+	n.mux.HandleFunc("GET /v1/sessions/{id}", n.local)
+	n.mux.HandleFunc("POST /v1/sessions/{id}/deltas", n.local)
+	n.mux.HandleFunc("GET /v1/sessions/{id}/spanner", n.local)
+	n.mux.HandleFunc("GET /v1/sessions/{id}/events", n.local)
+	n.mux.HandleFunc("DELETE /v1/sessions/{id}", n.local)
 }
 
 // ServeHTTP implements http.Handler.
@@ -560,6 +570,7 @@ type ClusterMetrics struct {
 	SyncSweepsTotal     int64  `json:"cluster_sync_sweeps_total"`
 	SyncPulledTotal     int64  `json:"cluster_sync_pulled_total"`
 	SyncRejectedTotal   int64  `json:"cluster_sync_rejected_total"`
+	SyncErrorsTotal     int64  `json:"cluster_sync_errors_total"`
 	PeersAccepting      int    `json:"cluster_peers_accepting"`
 	PeersDraining       int    `json:"cluster_peers_draining"`
 	PeersUnreachable    int    `json:"cluster_peers_unreachable"`
@@ -580,6 +591,7 @@ func (n *Node) Metrics() ClusterMetrics {
 		SyncSweepsTotal:     n.syncSweeps.Load(),
 		SyncPulledTotal:     n.syncPulled.Load(),
 		SyncRejectedTotal:   n.syncRejected.Load(),
+		SyncErrorsTotal:     n.syncErrors.Load(),
 	}
 	n.sumMu.Lock()
 	for _, st := range n.sums {

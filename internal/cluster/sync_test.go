@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/service"
+	"github.com/ftspanner/ftspanner/internal/store"
+)
+
+// ---- sweep hazard regressions ------------------------------------------
+//
+// A sweeping replica trusts nothing about a peer: listings and record
+// bodies are bounded, peer-supplied names are escaped before they reach a
+// URL, and one broken record must not abort the rest of the peer's
+// listing. Each test here drives SweepOnce against a scripted hostile peer
+// and fails on the pre-hardening sweep code.
+
+// fakePeer is a scripted peer: a listing plus per-record responses, with
+// every requested path recorded so tests can assert what the sweep
+// actually asked for.
+type fakePeer struct {
+	ts      *httptest.Server
+	mu      sync.Mutex
+	paths   []string
+	listing []store.RecordInfo
+	// serve maps an advertised record name to its response; absent names
+	// get 404.
+	serve map[string]func(w http.ResponseWriter)
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	p := &fakePeer{serve: map[string]func(w http.ResponseWriter){}}
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		p.paths = append(p.paths, r.URL.Path)
+		p.mu.Unlock()
+		switch {
+		case r.URL.Path == "/v1/cluster/records":
+			p.mu.Lock()
+			listing := p.listing
+			p.mu.Unlock()
+			_ = json.NewEncoder(w).Encode(map[string]any{"records": listing})
+		case strings.HasPrefix(r.URL.Path, "/v1/cluster/records/"):
+			name := strings.TrimPrefix(r.URL.Path, "/v1/cluster/records/")
+			name, _ = url.PathUnescape(name)
+			p.mu.Lock()
+			h := p.serve[name]
+			p.mu.Unlock()
+			if h == nil {
+				http.Error(w, "no such record", http.StatusNotFound)
+				return
+			}
+			h(w)
+		default:
+			// Summary polls and anything else a test does not script.
+			http.Error(w, "unscripted", http.StatusNotFound)
+		}
+	}))
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func (p *fakePeer) addr() string {
+	u, _ := url.Parse(p.ts.URL)
+	return u.Host
+}
+
+func (p *fakePeer) requestedPaths() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.paths...)
+}
+
+// syncNode builds a store-backed node whose only other peer is the fake.
+func syncNode(t *testing.T, peer *fakePeer) *Node {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 2, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	self := "127.0.0.1:1" // never contacted: the sweep skips self
+	node, err := New(Config{
+		Self:         self,
+		Peers:        []string{self, peer.addr()},
+		Local:        svc,
+		PollInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	return node
+}
+
+// encodedRecord builds valid record bytes with a distinct key.
+func encodedRecord(key string) []byte {
+	return store.Encode(&store.Record{
+		Key:           key,
+		NumVertices:   4,
+		InputEdges:    3,
+		SpannerDigest: "digest-" + key,
+		Kept:          []int{0, 1, 2},
+	})
+}
+
+// recordName mirrors the store's key-to-filename mapping so fake listings
+// can advertise realistic names.
+func recordName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".ftr"
+}
+
+func serveBytes(data []byte) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	}
+}
+
+// TestSweepSkipsFailedPullAndContinues locks partial progress: a peer
+// whose listing contains a record that 500s on pull must still yield every
+// other record, count the failure, and finish the peer cleanly. The old
+// sweep aborted the whole peer on the first failed pull.
+func TestSweepSkipsFailedPullAndContinues(t *testing.T) {
+	peer := newFakePeer(t)
+	recA, recC := encodedRecord("rec-a"), encodedRecord("rec-c")
+	nameA, nameB, nameC := recordName("rec-a"), recordName("rec-b"), recordName("rec-c")
+	peer.listing = []store.RecordInfo{
+		{Name: nameA, Size: int64(len(recA))},
+		{Name: nameB, Size: 512}, // pull answers 500
+		{Name: nameC, Size: int64(len(recC))},
+	}
+	peer.serve[nameA] = serveBytes(recA)
+	peer.serve[nameB] = func(w http.ResponseWriter) {
+		http.Error(w, "disk on fire", http.StatusInternalServerError)
+	}
+	peer.serve[nameC] = serveBytes(recC)
+
+	node := syncNode(t, peer)
+	res, err := node.SweepOnce(context.Background())
+	if err != nil {
+		t.Fatalf("sweep failed outright on one bad record: %v", err)
+	}
+	if res.Pulled != 2 || res.Errors != 1 || res.Peers != 1 {
+		t.Fatalf("sweep = %+v, want Pulled=2 Errors=1 Peers=1", res)
+	}
+	st := node.cfg.Local.Store()
+	if !st.HasFile(nameA) || !st.HasFile(nameC) {
+		t.Fatal("surviving records were not imported")
+	}
+	if st.HasFile(nameB) {
+		t.Fatal("failed record appeared in the store")
+	}
+	if m := node.Metrics(); m.SyncErrorsTotal != 1 || m.SyncPulledTotal != 2 {
+		t.Fatalf("sync metrics = %+v, want 1 error / 2 pulled", m)
+	}
+}
+
+// TestSweepBoundsRecordBodies locks the read bound: a record whose body
+// exceeds its advertised size is refused without importing, as are
+// listings advertising absurd or non-positive sizes. The old sweep
+// ReadAll'd whatever the peer sent and imported it.
+func TestSweepBoundsRecordBodies(t *testing.T) {
+	peer := newFakePeer(t)
+	rec := encodedRecord("oversized")
+	name := recordName("oversized")
+	peer.listing = []store.RecordInfo{
+		{Name: name, Size: int64(len(rec)) / 2},                // body will exceed this
+		{Name: recordName("zero"), Size: 0},                    // refused before fetch
+		{Name: recordName("absurd"), Size: maxRecordBytes + 1}, // refused before fetch
+	}
+	peer.serve[name] = serveBytes(rec) // full valid record, twice the advertised bytes
+
+	node := syncNode(t, peer)
+	res, err := node.SweepOnce(context.Background())
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.Errors != 3 || res.Pulled != 0 || res.Rejected != 0 {
+		t.Fatalf("sweep = %+v, want Errors=3 Pulled=0 Rejected=0", res)
+	}
+	if got := len(node.cfg.Local.Store().List()); got != 0 {
+		t.Fatalf("store holds %d records after refused pulls, want 0", got)
+	}
+	// The size-refused records must not even have been requested.
+	for _, path := range peer.requestedPaths() {
+		if strings.Contains(path, recordName("zero")) || strings.Contains(path, recordName("absurd")) {
+			t.Fatalf("sweep fetched a record with an out-of-range advertised size: %s", path)
+		}
+	}
+}
+
+// TestSweepBoundsListing locks the listing bound: a peer streaming an
+// over-large record listing fails that peer without ballooning memory, and
+// without failing the sweep's other peers.
+func TestSweepBoundsListing(t *testing.T) {
+	peer := newFakePeer(t)
+	// The huge peer hand-writes a listing body past maxListingBytes.
+	huge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/records" {
+			http.Error(w, "unscripted", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"records":[`))
+		entry := []byte(`{"name":"` + strings.Repeat("a", 60) + `.ftr","size":100},`)
+		for written := 0; written < maxListingBytes+1024; written += len(entry) {
+			if _, err := w.Write(entry); err != nil {
+				return
+			}
+		}
+		_, _ = w.Write([]byte(`{"name":"end.ftr","size":100}]}`))
+	}))
+	t.Cleanup(huge.Close)
+	hugeURL, err := url.Parse(huge.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := encodedRecord("good")
+	peer.listing = []store.RecordInfo{{Name: recordName("good"), Size: int64(len(rec))}}
+	peer.serve[recordName("good")] = serveBytes(rec)
+
+	svc, err := service.New(service.Config{Workers: 2, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	self := "127.0.0.1:1"
+	node, err := New(Config{
+		Self:         self,
+		Peers:        []string{self, peer.addr(), hugeURL.Host},
+		Local:        svc,
+		PollInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+
+	res, err := node.SweepOnce(context.Background())
+	if err == nil {
+		t.Fatal("sweep reported no error for the unbounded listing peer")
+	}
+	if res.Peers != 1 || res.Pulled != 1 {
+		t.Fatalf("sweep = %+v, want the healthy peer swept (Peers=1 Pulled=1)", res)
+	}
+}
+
+// TestSweepEscapesHostileRecordNames locks URL hygiene: a peer advertising
+// a traversal-shaped record name must not steer the pull request outside
+// the records endpoint. The old sweep spliced the raw name into the URL,
+// so "../.." walked the request to an arbitrary path on the peer.
+func TestSweepEscapesHostileRecordNames(t *testing.T) {
+	peer := newFakePeer(t)
+	rec := encodedRecord("legit")
+	hostile := "../../etc/passwd"
+	peer.listing = []store.RecordInfo{
+		{Name: hostile, Size: 64},
+		{Name: recordName("legit"), Size: int64(len(rec))},
+	}
+	peer.serve[recordName("legit")] = serveBytes(rec)
+
+	node := syncNode(t, peer)
+	res, err := node.SweepOnce(context.Background())
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.Pulled != 1 || res.Errors != 1 {
+		t.Fatalf("sweep = %+v, want Pulled=1 Errors=1", res)
+	}
+	for _, path := range peer.requestedPaths() {
+		if !strings.HasPrefix(path, "/v1/cluster/") {
+			t.Fatalf("hostile record name steered a request to %q", path)
+		}
+	}
+}
+
+// TestClusterRecordNameValidation locks the server side: the record export
+// endpoint refuses names that are not a single safe path component, before
+// consulting the store.
+func TestClusterRecordNameValidation(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 2, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	bad := []string{
+		"..%2F..%2Fetc%2Fpasswd", // traversal via encoded separators
+		"%2E%2E",                 // plain ".." once the mux decodes it
+		".hidden",
+		"with%20space.ftr",
+		"semi;colon.ftr",
+		url.PathEscape(strings.Repeat("x", 200)), // over-long
+	}
+	for _, name := range bad {
+		req := httptest.NewRequest("GET", "/v1/cluster/records/"+name, nil)
+		w := httptest.NewRecorder()
+		svc.ServeHTTP(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("name %q: code = %d, want 400", name, w.Code)
+		}
+	}
+	// A well-formed but absent name is a 404, not a 400: the validator
+	// must not reject legitimate record names.
+	req := httptest.NewRequest("GET", "/v1/cluster/records/"+recordName("absent"), nil)
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("valid absent name: code = %d, want 404", w.Code)
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoLiveEdge is returned by Mutable.Delete when no live edge joins the
+// given endpoints (it may have been deleted already, or never inserted).
+var ErrNoLiveEdge = errors.New("graph: no live edge between endpoints")
+
+// Mutable is a long-lived editable graph for session workloads: edges are
+// inserted through the CSR arena's amortized append and deleted by
+// tombstoning, so both operations are cheap and underlying edge IDs stay
+// stable between compactions. The incremental spanner engine keys its
+// decision state by those IDs.
+//
+// Invariants:
+//
+//   - Underlying edge IDs 0..NumEdges()-1 are assigned in insertion order
+//     and never reused until Compact.
+//   - The endpoint index tracks live edges only: deleting (u,v) frees the
+//     pair for re-insertion (under a fresh ID).
+//   - The live edges, enumerated in ID order, are exactly the session's
+//     current graph; Materialize densifies them into a plain Graph whose
+//     edge IDs are the live edges' insertion ranks.
+//
+// Mutable is not safe for concurrent use.
+type Mutable struct {
+	g     *Graph
+	dead  []bool // by underlying edge ID; true = tombstoned
+	deadN int
+}
+
+// NewMutable returns an empty mutable graph on n isolated vertices.
+func NewMutable(n int) *Mutable {
+	return &Mutable{g: New(n)}
+}
+
+// NewMutableFrom returns a mutable graph seeded with a deep copy of g; every
+// edge of g is live under its original ID.
+func NewMutableFrom(g *Graph) *Mutable {
+	return &Mutable{g: g.Clone(), dead: make([]bool, g.NumEdges())}
+}
+
+// NumVertices returns the vertex count.
+func (m *Mutable) NumVertices() int { return m.g.NumVertices() }
+
+// NumEdges returns the underlying edge count, tombstones included. It is the
+// exclusive upper bound on underlying edge IDs.
+func (m *Mutable) NumEdges() int { return m.g.NumEdges() }
+
+// NumLiveEdges returns the number of live (non-tombstoned) edges.
+func (m *Mutable) NumLiveEdges() int { return m.g.NumEdges() - m.deadN }
+
+// AddVertex appends a new isolated vertex and returns its ID.
+func (m *Mutable) AddVertex() int { return m.g.AddVertex() }
+
+// Live reports whether underlying edge id is live. IDs out of range are not
+// live.
+func (m *Mutable) Live(id int) bool {
+	return id >= 0 && id < len(m.dead) && !m.dead[id]
+}
+
+// Edge returns the underlying edge with the given ID, live or tombstoned.
+func (m *Mutable) Edge(id int) Edge { return m.g.Edge(id) }
+
+// Insert adds the live edge (u, v) with weight w and returns its underlying
+// ID. The same validation as Graph.AddEdge applies; a pair whose previous
+// edge was deleted may be re-inserted (the new edge gets a fresh ID).
+func (m *Mutable) Insert(u, v int, w float64) (int, error) {
+	id, err := m.g.AddEdge(u, v, w)
+	if err != nil {
+		return 0, err
+	}
+	m.dead = append(m.dead, false)
+	return id, nil
+}
+
+// Delete tombstones the live edge joining u and v and returns it. The
+// endpoint pair becomes free for re-insertion immediately; the tombstoned
+// arcs are reclaimed by the next Compact.
+func (m *Mutable) Delete(u, v int) (Edge, error) {
+	e, ok := m.g.EdgeBetween(u, v)
+	if !ok {
+		return Edge{}, fmt.Errorf("%w: (%d,%d)", ErrNoLiveEdge, u, v)
+	}
+	m.dead[e.ID] = true
+	m.deadN++
+	delete(m.g.index, normPair(e.U, e.V))
+	return e, nil
+}
+
+// LiveBetween returns the live edge joining u and v, if any. Out-of-range
+// endpoints answer false.
+func (m *Mutable) LiveBetween(u, v int) (Edge, bool) {
+	return m.g.EdgeBetween(u, v)
+}
+
+// LiveEdges returns the live edges in insertion (underlying-ID) order.
+func (m *Mutable) LiveEdges() []Edge {
+	out := make([]Edge, 0, m.NumLiveEdges())
+	for _, e := range m.g.edges {
+		if !m.dead[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LiveIncident returns v's live incident edges in adjacency order.
+func (m *Mutable) LiveIncident(v int) []Edge {
+	var out []Edge
+	for _, a := range m.g.Neighbors(v) {
+		if !m.dead[a.ID] {
+			out = append(out, m.g.Edge(a.ID))
+		}
+	}
+	return out
+}
+
+// Waste returns the tombstoned fraction of the underlying edge list — the
+// signal for when a Compact pays off.
+func (m *Mutable) Waste() float64 {
+	if m.g.NumEdges() == 0 {
+		return 0
+	}
+	return float64(m.deadN) / float64(m.g.NumEdges())
+}
+
+// Materialize densifies the live edges into a fresh plain Graph, adding them
+// in insertion order so materialized edge ID i is the i-th live edge. It
+// also returns ids, the materialized-ID -> underlying-ID mapping. The
+// returned graph is independent of the Mutable.
+//
+// Because relative insertion order among surviving edges is stable under
+// deletes, the materialized graph's (weight, edge ID) scan order is the
+// session's canonical greedy scan order: a from-scratch rebuild of the
+// materialized graph makes decisions in exactly the order the incremental
+// engine maintains them in.
+func (m *Mutable) Materialize() (*Graph, []int) {
+	out := New(m.g.NumVertices())
+	ids := make([]int, 0, m.NumLiveEdges())
+	for _, e := range m.g.edges {
+		if m.dead[e.ID] {
+			continue
+		}
+		out.MustAddEdge(e.U, e.V, e.Weight)
+		ids = append(ids, e.ID)
+	}
+	return out, ids
+}
+
+// Compact rewrites the underlying graph without tombstoned edges, renumbering
+// the survivors densely in insertion order, and returns remap, the old
+// underlying-ID -> new underlying-ID mapping (-1 for tombstoned IDs).
+// Callers keying state by underlying IDs must remap it.
+func (m *Mutable) Compact() []int {
+	remap := make([]int, m.g.NumEdges())
+	fresh := New(m.g.NumVertices())
+	for _, e := range m.g.edges {
+		if m.dead[e.ID] {
+			remap[e.ID] = -1
+			continue
+		}
+		remap[e.ID] = fresh.MustAddEdge(e.U, e.V, e.Weight)
+	}
+	m.g = fresh
+	m.dead = make([]bool, fresh.NumEdges())
+	m.deadN = 0
+	return remap
+}

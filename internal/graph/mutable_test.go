@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMutableInsertDeleteReinsert(t *testing.T) {
+	m := NewMutable(4)
+	id0, err := m.Insert(0, 1, 2)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	id1, err := m.Insert(1, 2, 3)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if id0 != 0 || id1 != 1 {
+		t.Fatalf("IDs = %d,%d, want 0,1", id0, id1)
+	}
+	if m.NumEdges() != 2 || m.NumLiveEdges() != 2 {
+		t.Fatalf("counts = %d/%d, want 2/2", m.NumEdges(), m.NumLiveEdges())
+	}
+
+	// Parallel live edge is still rejected.
+	if _, err := m.Insert(1, 0, 5); !errors.Is(err, ErrParallelEdge) {
+		t.Fatalf("parallel Insert err = %v, want ErrParallelEdge", err)
+	}
+
+	e, err := m.Delete(1, 0) // endpoint order must not matter
+	if err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if e.ID != id0 || e.Weight != 2 {
+		t.Fatalf("deleted edge = %+v, want ID %d weight 2", e, id0)
+	}
+	if m.Live(id0) || !m.Live(id1) {
+		t.Fatalf("liveness after delete: Live(%d)=%v Live(%d)=%v", id0, m.Live(id0), id1, m.Live(id1))
+	}
+	if m.NumEdges() != 2 || m.NumLiveEdges() != 1 {
+		t.Fatalf("counts after delete = %d/%d, want 2/1", m.NumEdges(), m.NumLiveEdges())
+	}
+
+	// Double delete fails with the typed error.
+	if _, err := m.Delete(0, 1); !errors.Is(err, ErrNoLiveEdge) {
+		t.Fatalf("double Delete err = %v, want ErrNoLiveEdge", err)
+	}
+
+	// The pair is free again; the re-insert gets a fresh ID.
+	id2, err := m.Insert(0, 1, 7)
+	if err != nil {
+		t.Fatalf("re-Insert: %v", err)
+	}
+	if id2 != 2 {
+		t.Fatalf("re-insert ID = %d, want 2", id2)
+	}
+	if got, ok := m.LiveBetween(1, 0); !ok || got.ID != id2 || got.Weight != 7 {
+		t.Fatalf("LiveBetween = %+v,%v, want ID 2 weight 7", got, ok)
+	}
+}
+
+func TestMutableLiveEnumeration(t *testing.T) {
+	m := NewMutable(5)
+	for _, e := range [][3]float64{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 4, 4}, {0, 4, 5}} {
+		if _, err := m.Insert(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if _, err := m.Delete(1, 2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+
+	live := m.LiveEdges()
+	wantIDs := []int{0, 2, 3, 4}
+	if len(live) != len(wantIDs) {
+		t.Fatalf("LiveEdges len = %d, want %d", len(live), len(wantIDs))
+	}
+	for i, e := range live {
+		if e.ID != wantIDs[i] {
+			t.Fatalf("LiveEdges[%d].ID = %d, want %d", i, e.ID, wantIDs[i])
+		}
+	}
+
+	inc := m.LiveIncident(1)
+	if len(inc) != 1 || inc[0].ID != 0 {
+		t.Fatalf("LiveIncident(1) = %+v, want just edge 0", inc)
+	}
+	inc4 := m.LiveIncident(4)
+	if len(inc4) != 2 {
+		t.Fatalf("LiveIncident(4) = %+v, want 2 edges", inc4)
+	}
+}
+
+func TestMutableMaterialize(t *testing.T) {
+	m := NewMutable(4)
+	m.Insert(0, 1, 3) // id 0
+	m.Insert(1, 2, 1) // id 1
+	m.Insert(2, 3, 2) // id 2
+	m.Delete(1, 2)
+	m.Insert(0, 3, 4) // id 3
+
+	mat, ids := m.Materialize()
+	if mat.NumVertices() != 4 || mat.NumEdges() != 3 {
+		t.Fatalf("materialized = %d vertices %d edges, want 4/3", mat.NumVertices(), mat.NumEdges())
+	}
+	wantIDs := []int{0, 2, 3}
+	for matID, underID := range ids {
+		if underID != wantIDs[matID] {
+			t.Fatalf("ids[%d] = %d, want %d", matID, underID, wantIDs[matID])
+		}
+		want := m.Edge(underID)
+		got := mat.Edge(matID)
+		if got.U != want.U || got.V != want.V || got.Weight != want.Weight {
+			t.Fatalf("materialized edge %d = %+v, want endpoints of %+v", matID, got, want)
+		}
+	}
+
+	// The materialized graph is independent of the Mutable.
+	mat.MustAddEdge(1, 3, 9)
+	if m.NumLiveEdges() != 3 {
+		t.Fatalf("mutating materialized graph leaked into Mutable")
+	}
+}
+
+func TestMutableCompact(t *testing.T) {
+	m := NewMutable(4)
+	m.Insert(0, 1, 1) // id 0
+	m.Insert(1, 2, 2) // id 1
+	m.Insert(2, 3, 3) // id 2
+	m.Delete(0, 1)
+	m.Delete(2, 3)
+
+	if got := m.Waste(); got != 2.0/3.0 {
+		t.Fatalf("Waste = %v, want 2/3", got)
+	}
+	remap := m.Compact()
+	want := []int{-1, 0, -1}
+	for i, r := range remap {
+		if r != want[i] {
+			t.Fatalf("remap[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+	if m.NumEdges() != 1 || m.NumLiveEdges() != 1 || m.Waste() != 0 {
+		t.Fatalf("post-compact counts = %d/%d waste %v", m.NumEdges(), m.NumLiveEdges(), m.Waste())
+	}
+	if e, ok := m.LiveBetween(1, 2); !ok || e.ID != 0 || e.Weight != 2 {
+		t.Fatalf("post-compact LiveBetween(1,2) = %+v,%v", e, ok)
+	}
+	// Fresh inserts keep working against the compacted arena.
+	if id, err := m.Insert(0, 3, 4); err != nil || id != 1 {
+		t.Fatalf("post-compact Insert = %d,%v, want 1,nil", id, err)
+	}
+}
+
+func TestMutableFromGraphAndVertexGrowth(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	m := NewMutableFrom(g)
+	if m.NumVertices() != 3 || m.NumLiveEdges() != 2 {
+		t.Fatalf("seeded counts = %d vertices %d live", m.NumVertices(), m.NumLiveEdges())
+	}
+
+	// Deep copy: deleting in the Mutable leaves the source graph alone.
+	if _, err := m.Delete(0, 1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatalf("Delete leaked into the source graph")
+	}
+
+	v := m.AddVertex()
+	if v != 3 || m.NumVertices() != 4 {
+		t.Fatalf("AddVertex = %d (n=%d), want 3 (n=4)", v, m.NumVertices())
+	}
+	if _, err := m.Insert(v, 0, 5); err != nil {
+		t.Fatalf("Insert to new vertex: %v", err)
+	}
+}

@@ -84,11 +84,38 @@ func (s *Server) handleClusterRecords(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// validRecordName reports whether a peer-supplied record name is a single
+// safe path component. Store record names are hex digests plus a fixed
+// extension, so the alphabet is tight; anything with separators, parent
+// references, or a leading dot is an attempted traversal, not a record.
+func validRecordName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	if name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // handleClusterRecord streams one record file's raw encoded bytes. The
 // encoding is CRC-self-verifying, so the peer imports blindly and lets its
 // own codec reject torn or corrupt transfers.
 func (s *Server) handleClusterRecord(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if !validRecordName(name) {
+		writeError(w, http.StatusBadRequest, "invalid record name")
+		return
+	}
 	if s.store == nil {
 		writeError(w, http.StatusNotFound, "no durable store")
 		return

@@ -32,6 +32,18 @@ type metrics struct {
 	panics        atomic.Int64 // build panics recovered into failed jobs
 	jobsDeadline  atomic.Int64 // jobs that missed their DeadlineMs
 
+	// Graph-session counters (session.go).
+	sessionsCreated      atomic.Int64 // sessions created
+	sessionsClosed       atomic.Int64 // sessions closed by DELETE
+	sessionsEvicted      atomic.Int64 // idle sessions closed by the retention janitor
+	sessionsSeeded       atomic.Int64 // sessions whose engine seeded from the result cache
+	sessionDeltaBatches  atomic.Int64 // applied delta batches
+	sessionDeltaOps      atomic.Int64 // individual delta operations applied
+	sessionFullRebuilds  atomic.Int64 // batches resolved by a from-scratch rebuild
+	sessionOracleQueries atomic.Int64 // live oracle queries during suffix repairs
+	sessionShortcuts     atomic.Int64 // suffix decisions carried over without a query
+	sessionCachePuts     atomic.Int64 // session results published into the cache tiers
+
 	maxPipeline atomic.Int64 // deepest effective pipeline any completed build ran
 
 	// Per-priority-class scheduling counters, indexed by class.
@@ -182,6 +194,25 @@ type MetricsSnapshot struct {
 	// JobsEvicted counts terminal jobs removed by the retention janitor;
 	// their IDs answer 404 afterwards.
 	JobsEvicted int64 `json:"jobs_evicted"`
+	// Sessions* report the live-graph-session subsystem: the current live
+	// count (gauge), lifetime creations, client closes, idle evictions, and
+	// engines seeded from the result cache instead of a cold greedy build.
+	SessionsActive       int   `json:"sessions_active"`
+	SessionsCreatedTotal int64 `json:"sessions_created_total"`
+	SessionsClosedTotal  int64 `json:"sessions_closed_total"`
+	SessionsEvictedTotal int64 `json:"sessions_evicted_total"`
+	SessionsSeededTotal  int64 `json:"sessions_seeded_total"`
+	// SessionDelta* instrument incremental maintenance: applied batches and
+	// operations, batches that fell back to a full rebuild, live oracle
+	// queries spent in suffix repairs, decisions carried over by the
+	// monotonicity shortcuts without a query, and results published into
+	// the cache tiers under evolving digests.
+	SessionDeltaBatchesTotal  int64 `json:"session_delta_batches_total"`
+	SessionDeltaOpsTotal      int64 `json:"session_delta_ops_total"`
+	SessionFullRebuildsTotal  int64 `json:"session_full_rebuilds_total"`
+	SessionOracleQueriesTotal int64 `json:"session_oracle_queries_total"`
+	SessionShortcutsTotal     int64 `json:"session_shortcut_decisions_total"`
+	SessionCachePutsTotal     int64 `json:"session_cache_puts_total"`
 	// BuildsInFlight and MaxConcurrentBuilds gauge worker-pool usage: how
 	// many builds hold a slot right now and the most that ever did at once.
 	BuildsInFlight      int64 `json:"builds_in_flight"`
@@ -237,6 +268,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 		MaxPipelineDepth: s.met.maxPipeline.Load(),
 		JobsEvicted:      s.met.jobsEvicted.Load(),
 
+		SessionsCreatedTotal:      s.met.sessionsCreated.Load(),
+		SessionsClosedTotal:       s.met.sessionsClosed.Load(),
+		SessionsEvictedTotal:      s.met.sessionsEvicted.Load(),
+		SessionsSeededTotal:       s.met.sessionsSeeded.Load(),
+		SessionDeltaBatchesTotal:  s.met.sessionDeltaBatches.Load(),
+		SessionDeltaOpsTotal:      s.met.sessionDeltaOps.Load(),
+		SessionFullRebuildsTotal:  s.met.sessionFullRebuilds.Load(),
+		SessionOracleQueriesTotal: s.met.sessionOracleQueries.Load(),
+		SessionShortcutsTotal:     s.met.sessionShortcuts.Load(),
+		SessionCachePutsTotal:     s.met.sessionCachePuts.Load(),
+
 		BuildsInFlight:      s.met.buildsInFlight.Load(),
 		MaxConcurrentBuilds: s.met.maxInFlight.Load(),
 
@@ -273,6 +315,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap.StoreBreakerTrips = st.BreakerTrips
 		snap.StoreQuarantined = len(st.Quarantined)
 	}
+	s.sessMu.Lock()
+	snap.SessionsActive = len(s.sessions)
+	s.sessMu.Unlock()
 	now := time.Now()
 	s.mu.Lock()
 	snap.QueueDepth = s.queues.totalLen()

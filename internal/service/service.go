@@ -14,6 +14,12 @@
 //	GET    /v1/jobs/{id}/events   NDJSON progress stream
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	POST   /v1/verify             random-fault check of a completed job
+//	POST   /v1/sessions           create a live graph session
+//	GET    /v1/sessions/{id}         session status
+//	POST   /v1/sessions/{id}/deltas  apply edge inserts/deletes/faults
+//	GET    /v1/sessions/{id}/spanner the session's current spanner
+//	GET    /v1/sessions/{id}/events  NDJSON kept-edge delta stream
+//	DELETE /v1/sessions/{id}         close a session
 //	GET    /metrics               queue, cache, store, and build counters
 //
 // The package is the architectural seam for scaling the repository into a
@@ -112,6 +118,15 @@ type Config struct {
 	// (store.Config.JitterSeed) so chaos runs replay deterministically under
 	// CHAOS_SEED; zero lets the store pick a time-based seed.
 	StoreRetrySeed int64
+	// SessionRetention bounds how long an idle graph session stays alive:
+	// the janitor closes and evicts sessions untouched for this long (their
+	// event streams see a terminal "closed" event). Zero selects the default
+	// of 30 minutes; negative disables eviction.
+	SessionRetention time.Duration
+	// MaxSessions caps concurrently live graph sessions; creations beyond it
+	// are refused with 429. Zero selects the default of 64; negative removes
+	// the cap.
+	MaxSessions int
 }
 
 const (
@@ -144,6 +159,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.PipelineCap <= 0 {
 		c.PipelineCap = defaultPipelineCap
+	}
+	if c.SessionRetention == 0 {
+		c.SessionRetention = defaultSessionRetention
 	}
 	if c.PipelineCap > maxPipeline {
 		c.PipelineCap = maxPipeline
@@ -188,6 +206,12 @@ type Server struct {
 	active map[CacheKey]*Job // queued or running, for in-flight dedup
 	nextID int64
 
+	// Live graph sessions (session.go). Lock order: sessMu before any
+	// individual session's mu.
+	sessMu   sync.Mutex
+	sessions map[string]*Session
+	nextSess int64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -224,18 +248,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		wake:    make(chan struct{}, cfg.QueueDepth),
-		cache:   newLRU(cfg.CacheEntries),
-		store:   st,
-		jobs:    make(map[string]*Job),
-		active:  make(map[CacheKey]*Job),
-		lat:     newLatencies(),
-		tuner:   newPipeTuner(cfg.PipelineCap),
-		shedder: newWaitShedder(cfg.WaitBudget),
-		started: time.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
+		cfg:      cfg,
+		wake:     make(chan struct{}, cfg.QueueDepth),
+		cache:    newLRU(cfg.CacheEntries),
+		store:    st,
+		jobs:     make(map[string]*Job),
+		active:   make(map[CacheKey]*Job),
+		sessions: make(map[string]*Session),
+		lat:      newLatencies(),
+		tuner:    newPipeTuner(cfg.PipelineCap),
+		shedder:  newWaitShedder(cfg.WaitBudget),
+		started:  time.Now(),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 	if st != nil {
 		st.SetObserver(s.lat.storeObserver)
@@ -245,20 +270,24 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	if cfg.JobRetention > 0 || cfg.TraceRetention > 0 {
+	if cfg.JobRetention > 0 || cfg.TraceRetention > 0 || cfg.SessionRetention > 0 {
 		s.wg.Add(1)
 		go s.janitor()
 	}
 	return s, nil
 }
 
-// janitor periodically evicts terminal jobs older than JobRetention and
-// drops traces older than TraceRetention.
+// janitor periodically evicts terminal jobs older than JobRetention, drops
+// traces older than TraceRetention, and closes graph sessions idle past
+// SessionRetention.
 func (s *Server) janitor() {
 	defer s.wg.Done()
 	ret := s.cfg.JobRetention
 	if s.cfg.TraceRetention > 0 && (ret <= 0 || s.cfg.TraceRetention < ret) {
 		ret = s.cfg.TraceRetention
+	}
+	if s.cfg.SessionRetention > 0 && (ret <= 0 || s.cfg.SessionRetention < ret) {
+		ret = s.cfg.SessionRetention
 	}
 	interval := ret / 4
 	if interval < 10*time.Millisecond {
@@ -274,7 +303,9 @@ func (s *Server) janitor() {
 		case <-s.ctx.Done():
 			return
 		case <-t.C:
-			s.sweepExpired(time.Now())
+			now := time.Now()
+			s.sweepExpired(now)
+			s.sweepSessions(now)
 		}
 	}
 }

@@ -1,0 +1,760 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ftspanner/ftspanner/internal/core"
+	"github.com/ftspanner/ftspanner/internal/fault"
+	"github.com/ftspanner/ftspanner/internal/graph"
+)
+
+// Sessions turn the server's "one build = one job" model into "graph as a
+// living resource": POST /v1/sessions creates a long-lived session over an
+// initial (possibly empty) graph, POST /v1/sessions/{id}/deltas applies
+// batches of edge inserts/deletes and vertex-fault events, and the session's
+// spanner is maintained incrementally by core.Incremental — digest-identical
+// after every batch to a from-scratch greedy rebuild of the current graph.
+// Kept-edge deltas stream over GET /v1/sessions/{id}/events as NDJSON, the
+// same machinery job progress uses.
+//
+// Sessions participate in the two-tier result cache: a session created from
+// a graph whose greedy result is already cached (by digest) seeds its engine
+// from the cached kept set instead of rebuilding, and after every applied
+// batch the session publishes its current result under the evolving digest —
+// so a batch job submitted for a graph some session just built answers from
+// cache, and a future session over that graph seeds instantly.
+
+// maxSessionDeltaOps bounds one delta request's operation count.
+const maxSessionDeltaOps = 4096
+
+// maxSessionEvents bounds the in-memory per-session event log; older events
+// are trimmed and a streamer that fell that far behind resumes from the
+// oldest retained event.
+const maxSessionEvents = 256
+
+const (
+	defaultSessionRetention = 30 * time.Minute
+	defaultMaxSessions      = 64
+)
+
+// SessionSpec is the POST /v1/sessions body. Graph and Vertices are
+// mutually exclusive: an inline graph starts the session warm, a bare vertex
+// count (or nothing) starts it empty for delta-driven growth.
+type SessionSpec struct {
+	// Graph is the initial graph inline, in the Graph.Encode text format.
+	Graph string `json:"graph,omitempty"`
+	// Vertices starts an empty session on this many isolated vertices.
+	Vertices int `json:"vertices,omitempty"`
+	// Stretch is the spanner parameter k >= 1.
+	Stretch float64 `json:"stretch"`
+	// Faults is the fault-tolerance parameter f >= 0.
+	Faults int `json:"faults"`
+	// Mode is "vertex" (default) or "edge".
+	Mode string `json:"mode,omitempty"`
+	// RebuildThreshold is the dirty fraction above which a delta batch is
+	// resolved by a full greedy rebuild instead of the suffix repair
+	// (core.IncrementalOptions.RebuildThreshold): 0 selects the engine
+	// default, >= 1 never rebuilds, negative always rebuilds.
+	RebuildThreshold float64 `json:"rebuild_threshold,omitempty"`
+	// NoCache opts the session out of the two-tier result cache: no seeding
+	// at create, no publishing after batches.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Session delta operation names.
+const (
+	SessionOpInsert = "insert"
+	SessionOpDelete = "delete"
+	SessionOpFault  = "fault"
+)
+
+// sessionDelta is one mutation in a POST /v1/sessions/{id}/deltas request.
+type sessionDelta struct {
+	// Op is "insert" (edge U-V with Weight), "delete" (live edge U-V), or
+	// "fault" (permanently remove every live edge incident to Vertex).
+	Op     string  `json:"op"`
+	U      int     `json:"u,omitempty"`
+	V      int     `json:"v,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+	Vertex int     `json:"vertex,omitempty"`
+}
+
+// sessionDeltasRequest is the POST /v1/sessions/{id}/deltas body.
+type sessionDeltasRequest struct {
+	// AddVertices appends this many isolated vertices before the deltas run.
+	AddVertices int            `json:"add_vertices,omitempty"`
+	Deltas      []sessionDelta `json:"deltas"`
+}
+
+// SessionEdge is one edge in a session response, by endpoints and weight
+// (session-internal edge IDs shift under compaction, so responses never
+// expose them).
+type SessionEdge struct {
+	U      int     `json:"u"`
+	V      int     `json:"v"`
+	Weight float64 `json:"w"`
+}
+
+// SessionEvent is one NDJSON record of a session's events stream: the
+// kept-set delta of one applied batch, plus lifecycle markers.
+type SessionEvent struct {
+	Seq int `json:"seq"`
+	// Type is "created", "deltas", or "closed".
+	Type string `json:"type"`
+	// Batch numbers the applied delta batches from 1 ("deltas" only).
+	Batch int `json:"batch,omitempty"`
+	// LiveEdges and Kept are the totals after the event.
+	LiveEdges int `json:"live_edges"`
+	Kept      int `json:"kept"`
+	// KeptAdded and KeptRemoved are the spanner membership changes, in scan
+	// order.
+	KeptAdded   []SessionEdge `json:"kept_added,omitempty"`
+	KeptRemoved []SessionEdge `json:"kept_removed,omitempty"`
+	// Digest is the materialized current graph's content digest.
+	Digest string `json:"digest,omitempty"`
+	// FullRebuild marks a batch resolved by a from-scratch rebuild rather
+	// than the suffix repair.
+	FullRebuild bool `json:"full_rebuild,omitempty"`
+	// Reason annotates "closed" events ("deleted", "retention expired").
+	Reason string `json:"reason,omitempty"`
+}
+
+// Session is one live graph session.
+type Session struct {
+	id        string
+	spec      SessionSpec
+	createdAt time.Time
+
+	mu      sync.Mutex
+	eng     *core.Incremental
+	batches int
+	digest  string // materialized digest after the last successful batch
+	seeded  bool   // engine seeded from the result cache at create
+	closed  bool
+	// events is the bounded event log; baseSeq is events[0]'s sequence
+	// number once trimming starts.
+	events  []SessionEvent
+	baseSeq int
+	updated chan struct{} // closed and replaced on every append
+	// lastUsed is the session GC clock, touched by every handler.
+	lastUsed time.Time
+}
+
+// appendEventLocked stamps and appends e, trims the log to its bound, and
+// wakes streamers. Caller holds s.mu.
+func (s *Session) appendEventLocked(e SessionEvent) {
+	e.Seq = s.baseSeq + len(s.events)
+	s.events = append(s.events, e)
+	if over := len(s.events) - maxSessionEvents; over > 0 {
+		s.events = append(s.events[:0:0], s.events[over:]...)
+		s.baseSeq += over
+	}
+	close(s.updated)
+	s.updated = make(chan struct{})
+}
+
+// eventsSince returns a copy of the events with sequence >= from (clamped to
+// the oldest retained event), a channel closed on the next append, and
+// whether the session is closed.
+func (s *Session) eventsSince(from int) (evs []SessionEvent, updated <-chan struct{}, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < s.baseSeq {
+		from = s.baseSeq
+	}
+	if i := from - s.baseSeq; i < len(s.events) {
+		evs = append([]SessionEvent(nil), s.events[i:]...)
+	}
+	return evs, s.updated, s.closed
+}
+
+// closeLocked marks the session closed and emits the terminal event. Caller
+// holds s.mu.
+func (s *Session) closeLocked(reason string) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.appendEventLocked(SessionEvent{
+		Type:      "closed",
+		LiveEdges: s.eng.NumLiveEdges(),
+		Kept:      s.eng.KeptCount(),
+		Digest:    s.digest,
+		Reason:    reason,
+	})
+}
+
+// sessionEdges converts engine edges to the response shape.
+func sessionEdges(in []graph.Edge) []SessionEdge {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]SessionEdge, len(in))
+	for i, e := range in {
+		out[i] = SessionEdge{U: e.U, V: e.V, Weight: e.Weight}
+	}
+	return out
+}
+
+// validateSessionSpec fills defaults and rejects invalid specs, mirroring
+// normalizeSpec for jobs.
+func validateSessionSpec(spec *SessionSpec) error {
+	if spec.Mode == "" {
+		spec.Mode = fault.Vertices.String()
+	}
+	if _, err := parseMode(spec.Mode); err != nil {
+		return err
+	}
+	if spec.Stretch < 1 || math.IsInf(spec.Stretch, 0) || math.IsNaN(spec.Stretch) {
+		return fmt.Errorf("stretch must be a finite number >= 1, got %v", spec.Stretch)
+	}
+	if spec.Faults < 0 {
+		return fmt.Errorf("faults must be >= 0, got %d", spec.Faults)
+	}
+	if math.IsNaN(spec.RebuildThreshold) || math.IsInf(spec.RebuildThreshold, 0) {
+		return fmt.Errorf("rebuild_threshold must be finite, got %v", spec.RebuildThreshold)
+	}
+	if spec.Graph != "" && spec.Vertices != 0 {
+		return fmt.Errorf("graph and vertices are mutually exclusive")
+	}
+	if spec.Vertices < 0 || spec.Vertices > maxGeneratedSize {
+		return fmt.Errorf("vertices must be in [0,%d], got %d", maxGeneratedSize, spec.Vertices)
+	}
+	return nil
+}
+
+// incrementalOptions translates a validated spec into engine options.
+func (s *Server) incrementalOptions(spec SessionSpec) core.IncrementalOptions {
+	mode, _ := parseMode(spec.Mode) // validated already
+	return core.IncrementalOptions{
+		Stretch:          spec.Stretch,
+		Faults:           spec.Faults,
+		Mode:             mode,
+		RebuildThreshold: spec.RebuildThreshold,
+		Oracle: fault.Options{
+			ObserveQuery: func(d time.Duration) { s.lat.oracleQuery.Record(d) },
+		},
+		Progress: func(scanned, kept int) error { return s.ctx.Err() },
+	}
+}
+
+// sessionCacheKey is the two-tier cache key of the session's current
+// materialized graph: exactly the key a greedy batch job over that graph
+// would use, so sessions and jobs share results in both directions.
+func sessionCacheKey(spec SessionSpec, digest string) CacheKey {
+	return CacheKey{
+		Digest:    digest,
+		Stretch:   spec.Stretch,
+		Faults:    spec.Faults,
+		Mode:      spec.Mode,
+		Algorithm: AlgoGreedy,
+	}
+}
+
+// publishSession pushes the session's current result into both cache tiers
+// under its evolving digest and returns that digest. Caller holds sess.mu.
+// Skipped for NoCache sessions.
+func (s *Server) publishSession(sess *Session) (string, error) {
+	mat, kept, err := sess.eng.Current()
+	if err != nil {
+		return "", err
+	}
+	digest := mat.Digest()
+	if sess.spec.NoCache {
+		return digest, nil
+	}
+	spanner := graph.New(mat.NumVertices())
+	for _, id := range kept {
+		e := mat.Edge(id)
+		spanner.MustAddEdge(e.U, e.V, e.Weight)
+	}
+	res := &buildResult{input: mat, spanner: spanner, kept: kept}
+	res.stats.EdgesScanned = mat.NumEdges()
+	key := sessionCacheKey(sess.spec, digest)
+	s.cache.Put(key, res)
+	s.storePut(key, res)
+	s.met.sessionCachePuts.Add(1)
+	return digest, nil
+}
+
+// createSession builds the engine (seeding from the result cache when the
+// initial graph's greedy result is already known) and registers the session.
+func (s *Server) createSession(spec SessionSpec) (*Session, error) {
+	var initial *graph.Graph
+	if spec.Graph != "" {
+		g, err := graph.Decode(strings.NewReader(spec.Graph))
+		if err != nil {
+			return nil, &submitError{status: http.StatusBadRequest, msg: fmt.Sprintf("inline graph: %v", err)}
+		}
+		initial = g
+	} else if spec.Vertices > 0 {
+		initial = graph.New(spec.Vertices)
+	}
+
+	opts := s.incrementalOptions(spec)
+	var eng *core.Incremental
+	seeded := false
+	if initial != nil && initial.NumEdges() > 0 && !spec.NoCache {
+		key := sessionCacheKey(spec, initial.Digest())
+		res, hit := s.cache.Get(key)
+		if !hit && s.store != nil {
+			if stored := s.storeGet(key, initial); stored != nil {
+				s.cache.Put(key, stored)
+				res, hit = stored, true
+			}
+		}
+		if hit {
+			if e, err := core.NewIncrementalSeeded(initial, res.kept, opts); err == nil {
+				eng, seeded = e, true
+				s.met.sessionsSeeded.Add(1)
+			}
+			// A seed failure falls through to the cold build: the cache is
+			// an accelerator, never a correctness dependency.
+		}
+	}
+	if eng == nil {
+		var err error
+		eng, err = core.NewIncremental(initial, opts)
+		if err != nil {
+			return nil, &submitError{status: http.StatusBadRequest, msg: err.Error()}
+		}
+	}
+
+	sess := &Session{
+		spec:      spec,
+		createdAt: time.Now(),
+		eng:       eng,
+		seeded:    seeded,
+		updated:   make(chan struct{}),
+		lastUsed:  time.Now(),
+	}
+
+	s.sessMu.Lock()
+	if max := s.maxSessions(); max > 0 && len(s.sessions) >= max {
+		s.sessMu.Unlock()
+		return nil, &submitError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("session limit reached (%d active, cap %d)", max, max),
+			retryAfter: 1,
+		}
+	}
+	s.nextSess++
+	sess.id = fmt.Sprintf("s%d", s.nextSess)
+	s.sessions[sess.id] = sess
+	s.sessMu.Unlock()
+	s.met.sessionsCreated.Add(1)
+
+	sess.mu.Lock()
+	digest, err := s.publishSession(sess)
+	if err == nil {
+		sess.digest = digest
+	}
+	sess.appendEventLocked(SessionEvent{
+		Type:      "created",
+		LiveEdges: sess.eng.NumLiveEdges(),
+		Kept:      sess.eng.KeptCount(),
+		Digest:    sess.digest,
+	})
+	sess.mu.Unlock()
+	return sess, nil
+}
+
+// maxSessions resolves the configured session cap (<= -1 unlimited).
+func (s *Server) maxSessions() int {
+	if s.cfg.MaxSessions < 0 {
+		return 0
+	}
+	if s.cfg.MaxSessions == 0 {
+		return defaultMaxSessions
+	}
+	return s.cfg.MaxSessions
+}
+
+// session looks a session up by ID and touches its GC clock.
+func (s *Server) session(id string) (*Session, bool) {
+	s.sessMu.Lock()
+	sess, ok := s.sessions[id]
+	s.sessMu.Unlock()
+	if ok {
+		sess.mu.Lock()
+		sess.lastUsed = time.Now()
+		sess.mu.Unlock()
+	}
+	return sess, ok
+}
+
+// sweepSessions evicts sessions idle past SessionRetention, closing their
+// event streams with a "retention expired" terminal event. Returns how many
+// were evicted.
+func (s *Server) sweepSessions(now time.Time) int {
+	if s.cfg.SessionRetention <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.SessionRetention)
+	var expired []*Session
+	s.sessMu.Lock()
+	for id, sess := range s.sessions {
+		sess.mu.Lock()
+		idle := sess.lastUsed.Before(cutoff)
+		sess.mu.Unlock()
+		if idle {
+			delete(s.sessions, id)
+			expired = append(expired, sess)
+		}
+	}
+	s.sessMu.Unlock()
+	for _, sess := range expired {
+		sess.mu.Lock()
+		sess.closeLocked("retention expired")
+		sess.mu.Unlock()
+	}
+	if n := len(expired); n > 0 {
+		s.met.sessionsEvicted.Add(int64(n))
+		return n
+	}
+	return 0
+}
+
+// sessionResponse answers session create/status requests.
+type sessionResponse struct {
+	ID        string  `json:"id"`
+	Stretch   float64 `json:"stretch"`
+	Faults    int     `json:"faults"`
+	Mode      string  `json:"mode"`
+	Vertices  int     `json:"vertices"`
+	LiveEdges int     `json:"live_edges"`
+	Kept      int     `json:"kept"`
+	// Digest is the materialized current graph's content digest — the
+	// session's evolving cache identity.
+	Digest string `json:"digest"`
+	// Seeded is true when the engine skipped its initial build because the
+	// initial graph's greedy result was already in the result cache.
+	Seeded bool `json:"seeded,omitempty"`
+	// Batches counts the delta batches applied so far.
+	Batches int `json:"batches"`
+	// NeedsRepair is true when the last batch aborted mid-repair; the next
+	// deltas or spanner request completes the re-scan.
+	NeedsRepair bool `json:"needs_repair,omitempty"`
+}
+
+func (s *Server) sessionResponseLocked(sess *Session) sessionResponse {
+	return sessionResponse{
+		ID:          sess.id,
+		Stretch:     sess.spec.Stretch,
+		Faults:      sess.spec.Faults,
+		Mode:        sess.spec.Mode,
+		Vertices:    sess.eng.NumVertices(),
+		LiveEdges:   sess.eng.NumLiveEdges(),
+		Kept:        sess.eng.KeptCount(),
+		Digest:      sess.digest,
+		Seeded:      sess.seeded,
+		Batches:     sess.batches,
+		NeedsRepair: sess.eng.NeedsRepair(),
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		se := s.drainError()
+		w.Header().Set("Retry-After", fmt.Sprint(se.retryAfter))
+		writeError(w, se.status, "%s", se.msg)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec SessionSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad session spec: %v", err)
+		return
+	}
+	if err := validateSessionSpec(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad session spec: %v", err)
+		return
+	}
+	sess, err := s.createSession(spec)
+	if err != nil {
+		var se *submitError
+		if errors.As(err, &se) {
+			if se.retryAfter > 0 {
+				w.Header().Set("Retry-After", fmt.Sprint(se.retryAfter))
+			}
+			writeError(w, se.status, "%s", se.msg)
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	sess.mu.Lock()
+	resp := s.sessionResponseLocked(sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	sess.mu.Lock()
+	resp := s.sessionResponseLocked(sess)
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionDeltasResponse answers POST /v1/sessions/{id}/deltas.
+type sessionDeltasResponse struct {
+	ID          string        `json:"id"`
+	Batch       int           `json:"batch"`
+	LiveEdges   int           `json:"live_edges"`
+	Kept        int           `json:"kept"`
+	KeptAdded   []SessionEdge `json:"kept_added,omitempty"`
+	KeptRemoved []SessionEdge `json:"kept_removed,omitempty"`
+	Digest      string        `json:"digest"`
+	// Repair instrumentation for the batch.
+	SuffixLen     int     `json:"suffix_len"`
+	OracleQueries int64   `json:"oracle_queries"`
+	ShortcutKeeps int     `json:"shortcut_keeps"`
+	ShortcutDrops int     `json:"shortcut_drops"`
+	FullRebuild   bool    `json:"full_rebuild,omitempty"`
+	DirtyFraction float64 `json:"dirty_fraction"`
+	DurationMS    float64 `json:"duration_ms"`
+}
+
+func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		se := s.drainError()
+		w.Header().Set("Retry-After", fmt.Sprint(se.retryAfter))
+		writeError(w, se.status, "%s", se.msg)
+		return
+	}
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req sessionDeltasRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad deltas request: %v", err)
+		return
+	}
+	if len(req.Deltas) > maxSessionDeltaOps {
+		writeError(w, http.StatusBadRequest, "at most %d deltas per batch, got %d", maxSessionDeltaOps, len(req.Deltas))
+		return
+	}
+	batch := core.Batch{AddVertices: req.AddVertices}
+	for i, d := range req.Deltas {
+		switch d.Op {
+		case SessionOpInsert:
+			batch.Deltas = append(batch.Deltas, core.Delta{Op: core.DeltaInsert, U: d.U, V: d.V, Weight: d.Weight})
+		case SessionOpDelete:
+			batch.Deltas = append(batch.Deltas, core.Delta{Op: core.DeltaDelete, U: d.U, V: d.V})
+		case SessionOpFault:
+			batch.Deltas = append(batch.Deltas, core.Delta{Op: core.DeltaFaultVertex, Vertex: d.Vertex})
+		default:
+			writeError(w, http.StatusBadRequest, "delta %d: unknown op %q (want %s, %s, or %s)",
+				i, d.Op, SessionOpInsert, SessionOpDelete, SessionOpFault)
+			return
+		}
+	}
+
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, "session %s is closed", sess.id)
+		return
+	}
+	res, err := sess.eng.ApplyBatch(batch)
+	if err != nil {
+		needsRepair := sess.eng.NeedsRepair()
+		sess.mu.Unlock()
+		var de *core.DeltaError
+		if errors.As(err, &de) {
+			writeError(w, http.StatusBadRequest, "%v", de)
+			return
+		}
+		if needsRepair {
+			writeError(w, http.StatusInternalServerError,
+				"batch applied but repair aborted (%v); retry or read the spanner to finish the repair", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sess.batches++
+	batchNo := sess.batches
+	digest, perr := s.publishSession(sess)
+	if perr == nil {
+		sess.digest = digest
+	}
+	ev := SessionEvent{
+		Type:        "deltas",
+		Batch:       batchNo,
+		LiveEdges:   res.LiveEdges,
+		Kept:        res.Kept,
+		KeptAdded:   sessionEdges(res.KeptAdded),
+		KeptRemoved: sessionEdges(res.KeptRemoved),
+		Digest:      sess.digest,
+		FullRebuild: res.Stats.FullRebuild,
+	}
+	sess.appendEventLocked(ev)
+	resp := sessionDeltasResponse{
+		ID:            sess.id,
+		Batch:         batchNo,
+		LiveEdges:     res.LiveEdges,
+		Kept:          res.Kept,
+		KeptAdded:     ev.KeptAdded,
+		KeptRemoved:   ev.KeptRemoved,
+		Digest:        sess.digest,
+		SuffixLen:     res.Stats.SuffixLen,
+		OracleQueries: res.Stats.OracleQueries,
+		ShortcutKeeps: res.Stats.ShortcutKeeps,
+		ShortcutDrops: res.Stats.ShortcutDrops,
+		FullRebuild:   res.Stats.FullRebuild,
+		DirtyFraction: res.Stats.DirtyFraction,
+		DurationMS:    float64(res.Stats.Duration.Microseconds()) / 1000,
+	}
+	sess.mu.Unlock()
+
+	s.met.sessionDeltaBatches.Add(1)
+	s.met.sessionDeltaOps.Add(int64(len(req.Deltas)))
+	s.met.sessionOracleQueries.Add(res.Stats.OracleQueries)
+	s.met.sessionShortcuts.Add(int64(res.Stats.ShortcutKeeps + res.Stats.ShortcutDrops))
+	if res.Stats.FullRebuild {
+		s.met.sessionFullRebuilds.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionSpannerResponse answers GET /v1/sessions/{id}/spanner.
+type sessionSpannerResponse struct {
+	ID     string `json:"id"`
+	Digest string `json:"digest"`
+	// Spanner is the current spanner in the Graph.Encode text format; Kept
+	// lists the same edges by endpoints and weight in scan order.
+	Spanner string        `json:"spanner"`
+	Kept    []SessionEdge `json:"kept"`
+}
+
+func (s *Server) handleSessionSpanner(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.eng.NeedsRepair() {
+		// The documented recovery path: finish the aborted re-scan before
+		// answering reads.
+		if err := sess.eng.Repair(); err != nil {
+			writeError(w, http.StatusInternalServerError, "repair: %v", err)
+			return
+		}
+		if digest, err := s.publishSession(sess); err == nil {
+			sess.digest = digest
+		}
+	}
+	mat, kept, err := sess.eng.Current()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	spanner := graph.New(mat.NumVertices())
+	edges := make([]SessionEdge, 0, len(kept))
+	for _, id := range kept {
+		e := mat.Edge(id)
+		spanner.MustAddEdge(e.U, e.V, e.Weight)
+		edges = append(edges, SessionEdge{U: e.U, V: e.V, Weight: e.Weight})
+	}
+	var sb strings.Builder
+	if err := spanner.Encode(&sb); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionSpannerResponse{
+		ID: sess.id, Digest: mat.Digest(), Spanner: sb.String(), Kept: edges,
+	})
+}
+
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		evs, updated, closed := sess.eventsSince(from)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			from = e.Seq + 1
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			// Deliver whatever raced in with the shutdown before closing the
+			// stream, mirroring the job events endpoint.
+			evs, _, _ := sess.eventsSince(from)
+			for _, e := range evs {
+				if err := enc.Encode(e); err != nil {
+					return
+				}
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+	}
+}
+
+// sessionDeleteResponse answers DELETE /v1/sessions/{id}.
+type sessionDeleteResponse struct {
+	ID     string `json:"id"`
+	Closed bool   `json:"closed"`
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sessMu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.sessMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	sess.mu.Lock()
+	sess.closeLocked("deleted")
+	sess.mu.Unlock()
+	s.met.sessionsClosed.Add(1)
+	writeJSON(w, http.StatusOK, sessionDeleteResponse{ID: id, Closed: true})
+}
