@@ -236,6 +236,12 @@ func runBenchJSON(path string, out io.Writer, parallelism, pipeline int) error {
 		fmt.Fprintln(out)
 	}
 
+	sessionEntries, err := sessionBenchEntries(out)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, sessionEntries...)
+
 	if oracleBench, err := oracleQueryBench(out); err != nil {
 		return err
 	} else {

@@ -72,6 +72,12 @@ type IncrementalOptions struct {
 	// engine needing repair (NeedsRepair); the graph mutations stay applied
 	// and the next ApplyBatch or Repair call finishes the re-scan.
 	Progress func(scanned, kept int) error
+	// DisableStateReuse turns off carrying the kept-prefix graph and fault
+	// oracle across batches: every suffix repair rebuilds both from scratch,
+	// restoring the per-batch O(|E| + oracle build) behavior. This is the
+	// ablation baseline (mirroring fault.Options.DisableWitnessReuse); the
+	// kept set is digest-identical either way.
+	DisableStateReuse bool
 }
 
 // defaultRebuildThreshold is the dirty fraction above which a full rebuild
@@ -145,6 +151,14 @@ type BatchStats struct {
 	// FullRebuild is true when the dirty fraction crossed the threshold and
 	// the batch was resolved by a from-scratch Greedy run.
 	FullRebuild bool
+	// OracleReused marks a suffix repair that rewound the retained prefix
+	// graph and fault oracle to the divergence point instead of rebuilding
+	// them; OracleBuilt marks a suffix repair that constructed them from
+	// scratch (first batch, reuse disabled, or a prior fallback invalidated
+	// the retained state). Both are false when the batch left every decision
+	// intact or was resolved by a full rebuild.
+	OracleReused bool
+	OracleBuilt  bool
 	// DirtyFraction is suffix length over live edge count at decision time.
 	DirtyFraction float64
 	Duration      time.Duration
@@ -175,6 +189,11 @@ type IncrementalStats struct {
 	ShortcutKeeps int64
 	ShortcutDrops int64
 	Compactions   int
+	// OracleReuses counts suffix repairs that rewound the retained prefix
+	// graph and oracle; OracleRebuilds counts suffix repairs that built them
+	// from scratch. Full Greedy rebuilds show up in FullRebuilds, not here.
+	OracleReuses   int64
+	OracleRebuilds int64
 }
 
 // scanKey orders edges the way the greedy scans them: weight ascending,
@@ -205,6 +224,28 @@ type Incremental struct {
 	m     *graph.Mutable
 	kept  []bool // by underlying edge ID
 	keptN int
+
+	// order is the live edge list in greedy scan order (weight, underlying
+	// ID), maintained incrementally: each batch rewrites only the tail from
+	// the earliest affected scan position — deletions filter out, insertions
+	// merge in — so order upkeep is O(affected suffix), not O(|E|), and no
+	// per-batch re-sort runs. orderBuf is the tail-copy merge scratch (never
+	// aliased with order).
+	order    []graph.Edge
+	orderBuf []graph.Edge
+
+	// Retained repair state carried across batches. h is the kept spanner
+	// with edges appended in scan order, hKeys[i] the scan key of h's edge i
+	// (ascending — the scan-position → arena-watermark map), and oracle
+	// stays bound to h with its memo and witness cache warm. A suffix repair
+	// at divergence key k truncates h back to the watermark before k and
+	// Rewinds the oracle instead of rebuilding both, making a small delta
+	// cost O(dirty suffix). All three are nil after an invalidation —
+	// compaction, full rebuild, or aborted repair — and the next suffix
+	// repair then rebuilds them from scratch (and retains the result).
+	h      *graph.Graph
+	hKeys  []scanKey
+	oracle *fault.Oracle
 
 	// pending, when non-nil, marks decisions at scan keys >= *pending as
 	// stale: a previous repair aborted (Progress error or oracle failure)
@@ -278,7 +319,15 @@ func newIncrementalShell(initial *graph.Graph, opts IncrementalOptions) (*Increm
 	} else {
 		m = graph.NewMutableFrom(initial)
 	}
-	return &Incremental{opts: opts, m: m, kept: make([]bool, m.NumEdges())}, nil
+	inc := &Incremental{opts: opts, m: m, kept: make([]bool, m.NumEdges())}
+	// The one full sort of the engine's lifetime: LiveEdges is ID-ascending,
+	// so the stable weight sort yields (weight, ID) order; every batch after
+	// this maintains it by merging.
+	inc.order = m.LiveEdges()
+	sort.SliceStable(inc.order, func(i, j int) bool {
+		return inc.order[i].Weight < inc.order[j].Weight
+	})
+	return inc, nil
 }
 
 // NumVertices returns the session graph's vertex count.
@@ -351,10 +400,12 @@ func (inc *Incremental) ApplyBatch(b Batch) (*BatchResult, error) {
 		inc.m.AddVertex()
 	}
 
-	// Mutation pass. Validation guarantees every delta applies cleanly.
+	// Mutation pass. Validation guarantees every delta applies cleanly. The
+	// deleted KEPT edges are not collected here — the order merge below
+	// recovers them in scan order for free.
 	res := &BatchResult{}
 	inserted := make(map[int]bool)
-	var deletedKept []graph.Edge
+	var deleted []graph.Edge // deletions present in the maintained order
 	deleteOne := func(u, v int) error {
 		e, err := inc.m.Delete(u, v)
 		if err != nil {
@@ -363,10 +414,8 @@ func (inc *Incremental) ApplyBatch(b Batch) (*BatchResult, error) {
 		res.Stats.Deleted++
 		if inserted[e.ID] {
 			delete(inserted, e.ID) // born and died within this batch
-			return nil
-		}
-		if e.ID < len(inc.kept) && inc.kept[e.ID] {
-			deletedKept = append(deletedKept, e)
+		} else {
+			deleted = append(deleted, e)
 		}
 		return nil
 	}
@@ -394,18 +443,14 @@ func (inc *Incremental) ApplyBatch(b Batch) (*BatchResult, error) {
 	inc.stats.Inserted += res.Stats.Inserted
 	inc.stats.Deleted += res.Stats.Deleted
 
-	// Grow the decision table to cover the batch's fresh IDs, snapshot the
-	// pre-batch decisions for the delta report, then retire the deleted
-	// kept edges from the bookkeeping (their scan slots are what the
-	// suffix repair re-decides around).
+	// Grow the decision table to cover the batch's fresh IDs, then fold the
+	// mutations into the maintained scan order. The merge hands back the
+	// deleted KEPT edges already in scan order — their old slots are what
+	// the suffix repair re-decides around.
 	for len(inc.kept) < inc.m.NumEdges() {
 		inc.kept = append(inc.kept, false)
 	}
-	oldKept := append([]bool(nil), inc.kept...)
-	for _, e := range deletedKept {
-		inc.kept[e.ID] = false
-		res.KeptRemoved = append(res.KeptRemoved, e)
-	}
+	deletedKept := inc.mergeOrder(inserted, deleted)
 
 	// Earliest dirty scan key: inserted edges, deleted kept edges, and any
 	// stale suffix left by an aborted predecessor.
@@ -420,30 +465,38 @@ func (inc *Incremental) ApplyBatch(b Batch) (*BatchResult, error) {
 			noteKey(keyOf(inc.m.Edge(id)))
 		}
 	}
-	for _, e := range deletedKept {
-		noteKey(keyOf(e))
+	if len(deletedKept) > 0 {
+		noteKey(keyOf(deletedKept[0])) // scan order: the first is the minimum
 	}
 	resumed := inc.pending != nil
 	if resumed {
 		noteKey(*inc.pending)
 	}
 
+	// Retire the deleted kept edges from the bookkeeping. Their scan keys
+	// are all >= minKey, so the retained prefix graph sheds them during the
+	// rewind's truncation.
+	for _, e := range deletedKept {
+		inc.kept[e.ID] = false
+		res.KeptRemoved = append(res.KeptRemoved, e)
+	}
+
 	inc.stats.Batches++
 	if minKey == nil {
 		// Deletes of dropped edges (or a pure vertex add) leave every
 		// decision intact: the dropped edge's scan step was a no-op against
-		// H, so the rebuild's decisions are unchanged verbatim.
+		// H, so the rebuild's decisions are unchanged verbatim — and the
+		// retained prefix graph and oracle stay valid, untouched.
 		inc.finishBatch(res, start)
 		return res, nil
 	}
 
-	order := inc.scanOrder()
-	p := sort.Search(len(order), func(i int) bool {
-		return !keyLess(keyOf(order[i]), *minKey)
+	p := sort.Search(len(inc.order), func(i int) bool {
+		return !keyLess(keyOf(inc.order[i]), *minKey)
 	})
-	res.Stats.SuffixLen = len(order) - p
-	if len(order) > 0 {
-		res.Stats.DirtyFraction = float64(res.Stats.SuffixLen) / float64(len(order))
+	res.Stats.SuffixLen = len(inc.order) - p
+	if len(inc.order) > 0 {
+		res.Stats.DirtyFraction = float64(res.Stats.SuffixLen) / float64(len(inc.order))
 	}
 	threshold := inc.opts.RebuildThreshold
 	if threshold == 0 {
@@ -451,26 +504,30 @@ func (inc *Incremental) ApplyBatch(b Batch) (*BatchResult, error) {
 	}
 
 	if res.Stats.DirtyFraction > threshold {
+		// Full rebuild: snapshot the pre-repair decisions for the delta
+		// report. (The suffix path computes its delta during the walk and
+		// skips this O(|E|) copy.)
 		res.Stats.FullRebuild = true
+		oldKept := append([]bool(nil), inc.kept...)
 		if err := inc.rebuild(); err != nil {
 			inc.pending = minKey
+			inc.invalidateRetained()
 			return nil, err
 		}
-	} else if err := inc.repairSuffix(order, p, oldKept, inserted, deletedKept, resumed, &res.Stats); err != nil {
+		inc.invalidateRetained()
+		for _, e := range inc.order {
+			was := e.ID < len(oldKept) && oldKept[e.ID]
+			if inc.kept[e.ID] && !was {
+				res.KeptAdded = append(res.KeptAdded, e)
+			} else if !inc.kept[e.ID] && was {
+				res.KeptRemoved = append(res.KeptRemoved, e)
+			}
+		}
+	} else if err := inc.repairSuffix(p, *minKey, inserted, deletedKept, resumed, res); err != nil {
+		inc.invalidateRetained()
 		return nil, err
 	}
 	inc.pending = nil
-
-	// Membership delta over the live edges, in scan order.
-	for _, e := range order {
-		was := e.ID < len(oldKept) && oldKept[e.ID]
-		if inc.kept[e.ID] && !was {
-			res.KeptAdded = append(res.KeptAdded, e)
-		} else if !inc.kept[e.ID] && was {
-			res.KeptRemoved = append(res.KeptRemoved, e)
-		}
-	}
-	inc.recountKept(order)
 	inc.maybeCompact()
 	inc.finishBatch(res, start)
 	return res, nil
@@ -488,39 +545,129 @@ func (inc *Incremental) finishBatch(res *BatchResult, start time.Time) {
 	inc.stats.ShortcutDrops += int64(res.Stats.ShortcutDrops)
 }
 
-// scanOrder returns the live edges in greedy scan order (weight, underlying
-// ID).
-func (inc *Incremental) scanOrder() []graph.Edge {
-	order := inc.m.LiveEdges() // ID-ascending, so the sort's tie-break is free
-	sort.SliceStable(order, func(i, j int) bool {
-		return order[i].Weight < order[j].Weight
+// mergeOrder folds the batch's mutations into the maintained scan order,
+// rewriting only the tail from the earliest affected scan position: every
+// tombstoned and inserted edge of this batch has a key at or past that
+// position (one binary search on the minimum key), so the prefix is left in
+// place and the tail is copied out once and merged back — deletions filter
+// out, surviving insertions merge in at their scan keys. The deleted KEPT
+// edges fall out of the same pass already in scan order, so no per-batch
+// sort over deletedKept; only the insertions get sorted. deleted holds the
+// batch's tombstoned edges as they were in the order (born-and-died edges of
+// this batch excluded — they never entered it).
+func (inc *Incremental) mergeOrder(inserted map[int]bool, deleted []graph.Edge) (deletedKept []graph.Edge) {
+	ins := make([]graph.Edge, 0, len(inserted))
+	for id := range inserted {
+		if inc.m.Live(id) {
+			ins = append(ins, inc.m.Edge(id))
+		}
+	}
+	if len(ins) == 0 && len(deleted) == 0 {
+		return nil
+	}
+	sort.Slice(ins, func(i, j int) bool { return keyLess(keyOf(ins[i]), keyOf(ins[j])) })
+
+	var minKey *scanKey
+	note := func(k scanKey) {
+		if minKey == nil || keyLess(k, *minKey) {
+			minKey = &k
+		}
+	}
+	if len(ins) > 0 {
+		note(keyOf(ins[0]))
+	}
+	for _, e := range deleted {
+		note(keyOf(e))
+	}
+	pos := sort.Search(len(inc.order), func(i int) bool {
+		return !keyLess(keyOf(inc.order[i]), *minKey)
 	})
-	return order
+
+	// Copy the affected tail aside, then merge it back over itself. orderBuf
+	// is a standalone scratch (it only ever holds this copy), so the merge
+	// reads from stable memory while appending into order's array.
+	tail := append(inc.orderBuf[:0], inc.order[pos:]...)
+	inc.orderBuf = tail
+	out := inc.order[:pos]
+	ii := 0
+	for _, e := range tail {
+		for ii < len(ins) && keyLess(keyOf(ins[ii]), keyOf(e)) {
+			out = append(out, ins[ii])
+			ii++
+		}
+		if !inc.m.Live(e.ID) {
+			if e.ID < len(inc.kept) && inc.kept[e.ID] {
+				deletedKept = append(deletedKept, e)
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	out = append(out, ins[ii:]...)
+	inc.order = out
+	return deletedKept
+}
+
+// invalidateRetained drops the cross-batch repair state. The next suffix
+// repair rebuilds the prefix graph and oracle from scratch (and retains the
+// fresh pair again). Called on compaction, full rebuild, and aborted repair
+// — the fallbacks where the retained arena's watermarks stop describing the
+// engine's decisions.
+func (inc *Incremental) invalidateRetained() {
+	inc.h = nil
+	inc.hKeys = nil
+	inc.oracle = nil
 }
 
 // repairSuffix re-decides order[p:] against the kept prefix order[:p]. The
-// deleted kept edges merge into the walk at their old scan slots to keep
-// the superset flag honest; resumed repairs run with both shortcut flags
-// off (see Incremental.pending).
-func (inc *Incremental) repairSuffix(order []graph.Edge, p int, oldKept []bool, inserted map[int]bool, deletedKept []graph.Edge, resumed bool, bs *BatchStats) error {
-	h := graph.New(inc.m.NumVertices())
-	keptTotal := 0
-	for _, e := range order[:p] {
-		if inc.kept[e.ID] {
-			h.MustAddEdge(e.U, e.V, e.Weight)
-			keptTotal++
+// prefix graph h and the fault oracle persist across batches: when the
+// retained pair is valid, the repair truncates h's CSR arena back to the
+// kept watermark at the divergence key (hKeys is the scan-position →
+// watermark map; the just-deleted kept edges all sit at keys >= minKey, so
+// the truncation sheds them too) and re-aims the oracle with Rewind, keeping
+// its memo and scored witness cache warm. Otherwise — first repair, reuse
+// disabled, or a fallback invalidated the state — both are built from
+// scratch exactly as a cold engine would, then retained for the next batch.
+// The deleted kept edges merge into the walk at their old scan slots to keep
+// the superset flag honest; resumed repairs run with both shortcut flags off
+// (see Incremental.pending).
+func (inc *Incremental) repairSuffix(p int, minKey scanKey, inserted map[int]bool, deletedKept []graph.Edge, resumed bool, res *BatchResult) error {
+	order := inc.order
+	bs := &res.Stats
+	if inc.h != nil && !resumed && !inc.opts.DisableStateReuse {
+		cut := sort.Search(len(inc.hKeys), func(i int) bool {
+			return !keyLess(inc.hKeys[i], minKey)
+		})
+		inc.h.Truncate(cut)
+		inc.hKeys = inc.hKeys[:cut]
+		for inc.h.NumVertices() < inc.m.NumVertices() {
+			inc.h.AddVertex()
 		}
-	}
-	oracleOpts := inc.opts.Oracle
-	oracleOpts.EdgeCapacity = len(order)
-	oracle, err := fault.NewOracle(h, inc.opts.Mode, oracleOpts)
-	if err != nil {
-		return err
+		if err := inc.oracle.Rewind(inc.h, len(order)); err != nil {
+			return err
+		}
+		bs.OracleReused = true
+		inc.stats.OracleReuses++
+	} else {
+		h := graph.New(inc.m.NumVertices())
+		hKeys := make([]scanKey, 0, inc.keptN)
+		for _, e := range order[:p] {
+			if inc.kept[e.ID] {
+				h.MustAddEdge(e.U, e.V, e.Weight)
+				hKeys = append(hKeys, keyOf(e))
+			}
+		}
+		oracleOpts := inc.opts.Oracle
+		oracleOpts.EdgeCapacity = len(order)
+		oracle, err := fault.NewOracle(h, inc.opts.Mode, oracleOpts)
+		if err != nil {
+			return err
+		}
+		inc.h, inc.hKeys, inc.oracle = h, hKeys, oracle
+		bs.OracleBuilt = true
+		inc.stats.OracleRebuilds++
 	}
 
-	sort.Slice(deletedKept, func(i, j int) bool {
-		return keyLess(keyOf(deletedKept[i]), keyOf(deletedKept[j]))
-	})
 	superset, subset := !resumed, !resumed
 	di := 0
 	processed := 0
@@ -530,7 +677,7 @@ func (inc *Incremental) repairSuffix(order []graph.Edge, p int, oldKept []bool, 
 			di++
 		}
 		if inc.opts.Progress != nil {
-			if err := inc.opts.Progress(processed, keptTotal); err != nil {
+			if err := inc.opts.Progress(processed, inc.h.NumEdges()); err != nil {
 				k := keyOf(e)
 				inc.pending = &k
 				return err
@@ -538,7 +685,11 @@ func (inc *Incremental) repairSuffix(order []graph.Edge, p int, oldKept []bool, 
 		}
 		processed++
 		isIns := inserted[e.ID]
-		prevKept := !isIns && e.ID < len(oldKept) && oldKept[e.ID]
+		// The pre-walk flag doubles as the old decision (each edge is
+		// visited once, deleted kept edges were already cleared, and fresh
+		// IDs start false), so the membership delta falls out of the walk
+		// without an O(|E|) pre-batch snapshot.
+		prevKept := !isIns && inc.kept[e.ID]
 		var keep bool
 		switch {
 		case !isIns && !prevKept && superset:
@@ -548,7 +699,7 @@ func (inc *Incremental) repairSuffix(order []graph.Edge, p int, oldKept []bool, 
 			keep = true
 			bs.ShortcutKeeps++
 		default:
-			_, found, err := oracle.FindFaultSet(e.U, e.V, inc.opts.Stretch*e.Weight, inc.opts.Faults)
+			_, found, err := inc.oracle.FindFaultSet(e.U, e.V, inc.opts.Stretch*e.Weight, inc.opts.Faults)
 			if err != nil {
 				k := keyOf(e)
 				inc.pending = &k
@@ -559,8 +710,13 @@ func (inc *Incremental) repairSuffix(order []graph.Edge, p int, oldKept []bool, 
 		}
 		inc.kept[e.ID] = keep
 		if keep {
-			h.MustAddEdge(e.U, e.V, e.Weight)
-			keptTotal++
+			inc.h.MustAddEdge(e.U, e.V, e.Weight)
+			inc.hKeys = append(inc.hKeys, keyOf(e))
+		}
+		if keep && !prevKept {
+			res.KeptAdded = append(res.KeptAdded, e)
+		} else if !keep && prevKept {
+			res.KeptRemoved = append(res.KeptRemoved, e)
 		}
 		switch {
 		case isIns && keep:
@@ -571,6 +727,7 @@ func (inc *Incremental) repairSuffix(order []graph.Edge, p int, oldKept []bool, 
 			subset = false
 		}
 	}
+	inc.keptN = inc.h.NumEdges()
 	return nil
 }
 
@@ -601,17 +758,6 @@ func (inc *Incremental) rebuild() error {
 	return nil
 }
 
-// recountKept refreshes keptN from the live decisions.
-func (inc *Incremental) recountKept(order []graph.Edge) {
-	n := 0
-	for _, e := range order {
-		if inc.kept[e.ID] {
-			n++
-		}
-	}
-	inc.keptN = n
-}
-
 // maybeCompact reclaims tombstones once they dominate the underlying edge
 // list, remapping the decision table to the fresh dense IDs. Only called on
 // the success path (pending is nil), so no stale scan key can dangle across
@@ -628,6 +774,14 @@ func (inc *Incremental) maybeCompact() {
 		}
 	}
 	inc.kept = fresh
+	// Compaction renumbers the underlying IDs (monotonically on survivors,
+	// so relative scan order is unchanged): rewrite the maintained order in
+	// place, and drop the retained repair state — its scan-key watermarks
+	// name the old IDs. The next suffix repair rebuilds it from scratch.
+	for i := range inc.order {
+		inc.order[i].ID = remap[inc.order[i].ID]
+	}
+	inc.invalidateRetained()
 	inc.stats.Compactions++
 }
 

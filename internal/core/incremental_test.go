@@ -50,6 +50,43 @@ func checkIncrementalDifferential(t *testing.T, eng *Incremental, label string) 
 	}
 }
 
+// checkAblationAgree locks the state-reuse axis: the reuse engine and its
+// DisableStateReuse twin, fed identical batches, must agree on the
+// materialized graph, the kept edge list, and the spanner digest.
+func checkAblationAgree(t *testing.T, reuse, scratch *Incremental, label string) {
+	t.Helper()
+	matA, keptA, err := reuse.Current()
+	if err != nil {
+		t.Fatalf("%s: reuse Current: %v", label, err)
+	}
+	matB, keptB, err := scratch.Current()
+	if err != nil {
+		t.Fatalf("%s: scratch Current: %v", label, err)
+	}
+	if matA.Digest() != matB.Digest() {
+		t.Fatalf("%s: engines diverged on the graph itself: %s != %s",
+			label, matA.Digest(), matB.Digest())
+	}
+	if len(keptA) != len(keptB) {
+		t.Fatalf("%s: reuse kept %d edges, scratch kept %d", label, len(keptA), len(keptB))
+	}
+	for i := range keptA {
+		if keptA[i] != keptB[i] {
+			t.Fatalf("%s: kept sets diverge at %d: reuse %d != scratch %d",
+				label, i, keptA[i], keptB[i])
+		}
+	}
+	spA, spB := graph.New(matA.NumVertices()), graph.New(matB.NumVertices())
+	for i := range keptA {
+		ea, eb := matA.Edge(keptA[i]), matB.Edge(keptB[i])
+		spA.MustAddEdge(ea.U, ea.V, ea.Weight)
+		spB.MustAddEdge(eb.U, eb.V, eb.Weight)
+	}
+	if spA.Digest() != spB.Digest() {
+		t.Fatalf("%s: spanner digest %s (reuse) != %s (scratch)", label, spA.Digest(), spB.Digest())
+	}
+}
+
 func pairKey(u, v int) [2]int {
 	if u <= v {
 		return [2]int{u, v}
@@ -124,7 +161,10 @@ func randomBatch(rng *rand.Rand, eng *Incremental, maxOps int) Batch {
 
 // TestIncrementalDifferential is the tentpole acceptance suite: >= 100
 // random insert/delete/fault sequences split across both fault modes, with
-// the digest-identity check after every applied batch.
+// the digest-identity check after every applied batch. Every sequence runs
+// through two engines — state reuse on (the default) and the
+// DisableStateReuse ablation — fed identical batches, locking the two paths
+// to each other and both to a from-scratch greedy.
 func TestIncrementalDifferential(t *testing.T) {
 	const seqPerMode = 52 // 104 sequences total
 	for _, mode := range []fault.Mode{fault.Vertices, fault.Edges} {
@@ -143,13 +183,26 @@ func TestIncrementalDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("seq %d: NewIncremental: %v", seq, err)
 				}
+				ablOpts := opts
+				ablOpts.DisableStateReuse = true
+				abl, err := NewIncremental(g, ablOpts)
+				if err != nil {
+					t.Fatalf("seq %d: NewIncremental (ablation): %v", seq, err)
+				}
 				checkIncrementalDifferential(t, eng, fmt.Sprintf("seq %d initial", seq))
 				for batch := 0; batch < 4; batch++ {
 					b := randomBatch(rng, eng, 6)
 					if _, err := eng.ApplyBatch(b); err != nil {
 						t.Fatalf("seq %d batch %d: ApplyBatch: %v", seq, batch, err)
 					}
+					if _, err := abl.ApplyBatch(b); err != nil {
+						t.Fatalf("seq %d batch %d: ApplyBatch (ablation): %v", seq, batch, err)
+					}
 					checkIncrementalDifferential(t, eng, fmt.Sprintf("seq %d batch %d", seq, batch))
+					checkAblationAgree(t, eng, abl, fmt.Sprintf("seq %d batch %d", seq, batch))
+				}
+				if abl.Stats().OracleReuses != 0 {
+					t.Fatalf("seq %d: ablation engine reused state %d times", seq, abl.Stats().OracleReuses)
 				}
 			}
 		})
@@ -484,6 +537,191 @@ func TestIncrementalAbortAndRepair(t *testing.T) {
 	checkIncrementalDifferential(t, eng, "after repair")
 }
 
+// TestIncrementalNoOpBatchReuse is the PR 10 regression lock: a batch that
+// changes no decision (deleting a dropped edge) must construct zero oracles
+// and run zero oracle queries, and a batch that does repair a suffix must
+// rewind the retained oracle instead of constructing a fresh one.
+func TestIncrementalNoOpBatchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := randomInstance(rng, 10, 14, weightsMixed)
+	eng, err := NewIncremental(g, IncrementalOptions{Stretch: 2, Faults: 1, Mode: fault.Vertices})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First repair establishes the retained state (one construction allowed).
+	mat, kept, err := eng.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) == len(mat.Edges()) {
+		t.Skip("everything kept; no dropped edge to exercise")
+	}
+	ke := mat.Edge(kept[len(kept)-1])
+	res, err := eng.ApplyBatch(Batch{Deltas: []Delta{{Op: DeltaDelete, U: ke.U, V: ke.V}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FullRebuild {
+		t.Fatalf("kept-edge delete fell back to a full rebuild (dirty %v)", res.Stats.DirtyFraction)
+	}
+	if !res.Stats.OracleBuilt || res.Stats.OracleReused {
+		t.Fatalf("first repair: OracleBuilt=%v OracleReused=%v, want true/false",
+			res.Stats.OracleBuilt, res.Stats.OracleReused)
+	}
+
+	// No-op batch: delete a dropped edge. Zero constructions, zero queries,
+	// zero suffix — the retained state is not even touched.
+	dropped := graph.Edge{ID: -1}
+	keptSet := map[int]bool{}
+	_, kept, err = eng.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range kept {
+		keptSet[id] = true
+	}
+	mat, _, _ = eng.Current()
+	for _, e := range mat.Edges() {
+		if !keptSet[e.ID] {
+			dropped = e
+			break
+		}
+	}
+	if dropped.ID < 0 {
+		t.Skip("no dropped edge left")
+	}
+	c0 := fault.Constructions()
+	res, err = eng.ApplyBatch(Batch{Deltas: []Delta{{Op: DeltaDelete, U: dropped.U, V: dropped.V}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fault.Constructions() - c0; d != 0 {
+		t.Fatalf("no-op batch constructed %d oracles, want 0", d)
+	}
+	if res.Stats.OracleQueries != 0 || res.Stats.SuffixLen != 0 ||
+		res.Stats.OracleBuilt || res.Stats.OracleReused {
+		t.Fatalf("no-op batch stats: queries=%d suffix=%d built=%v reused=%v, want all zero",
+			res.Stats.OracleQueries, res.Stats.SuffixLen, res.Stats.OracleBuilt, res.Stats.OracleReused)
+	}
+
+	// A real suffix repair after the warm-up: still zero constructions — the
+	// retained oracle is rewound, not rebuilt.
+	n := eng.NumVertices()
+	u, v := -1, -1
+	for a := 0; a < n && u < 0; a++ {
+		for b := a + 1; b < n; b++ {
+			if _, ok := eng.Graph().LiveBetween(a, b); !ok {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	if u < 0 {
+		t.Skip("graph complete; no free pair")
+	}
+	c0 = fault.Constructions()
+	res, err = eng.ApplyBatch(Batch{Deltas: []Delta{{Op: DeltaInsert, U: u, V: v, Weight: 1.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FullRebuild {
+		t.Skipf("insert fell back to a full rebuild (dirty %v)", res.Stats.DirtyFraction)
+	}
+	if d := fault.Constructions() - c0; d != 0 {
+		t.Fatalf("non-fallback repair constructed %d oracles, want 0", d)
+	}
+	if !res.Stats.OracleReused || res.Stats.OracleBuilt {
+		t.Fatalf("non-fallback repair: OracleReused=%v OracleBuilt=%v, want true/false",
+			res.Stats.OracleReused, res.Stats.OracleBuilt)
+	}
+	if eng.Stats().OracleReuses == 0 {
+		t.Fatal("cumulative OracleReuses stayed 0")
+	}
+	checkIncrementalDifferential(t, eng, "after reuse batch")
+}
+
+// TestIncrementalRewindAcrossCompaction drives delete churn through the
+// automatic compaction with state reuse on: compaction must invalidate the
+// retained prefix (its watermarks name the old IDs), the next repair
+// rebuilds from scratch, and the one after that rewinds again — with the
+// differential lock holding throughout.
+func TestIncrementalRewindAcrossCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomInstance(rng, 12, 60, weightsMixed)
+	eng, err := NewIncremental(g, IncrementalOptions{Stretch: 3, Faults: 0, Mode: fault.Vertices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for eng.Graph().NumEdges() >= 64 && eng.Graph().Waste() <= 0.55 {
+		live := eng.Graph().LiveEdges()
+		if len(live) <= 12 {
+			break
+		}
+		var deltas []Delta
+		for i := 0; i < 6 && i < len(live); i++ {
+			e := live[rng.Intn(len(live))]
+			dup := false
+			for _, d := range deltas {
+				if pairKey(d.U, d.V) == pairKey(e.U, e.V) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				deltas = append(deltas, Delta{Op: DeltaDelete, U: e.U, V: e.V})
+			}
+		}
+		if _, err := eng.ApplyBatch(Batch{Deltas: deltas}); err != nil {
+			t.Fatal(err)
+		}
+		checkIncrementalDifferential(t, eng, "churn batch")
+	}
+	if eng.Stats().Compactions == 0 {
+		t.Fatalf("churn never compacted: %d underlying edges, waste %v",
+			eng.Graph().NumEdges(), eng.Graph().Waste())
+	}
+
+	// The batch right after a compaction must rebuild (the retained arena
+	// died with the renumbering)...
+	var firstAfter *BatchResult
+	for firstAfter == nil {
+		b := randomBatch(rng, eng, 3)
+		res, err := eng.ApplyBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIncrementalDifferential(t, eng, "post-compact batch")
+		if res.Stats.SuffixLen > 0 && !res.Stats.FullRebuild {
+			firstAfter = res
+		}
+	}
+	if !firstAfter.Stats.OracleBuilt || firstAfter.Stats.OracleReused {
+		t.Fatalf("first repair after compaction: OracleBuilt=%v OracleReused=%v, want true/false",
+			firstAfter.Stats.OracleBuilt, firstAfter.Stats.OracleReused)
+	}
+	// ...and the repair after that rewinds the fresh retained state again.
+	for {
+		b := randomBatch(rng, eng, 3)
+		res, err := eng.ApplyBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIncrementalDifferential(t, eng, "post-compact reuse batch")
+		if res.Stats.FullRebuild || eng.Stats().Compactions > 1 {
+			t.Skip("another fallback before a reuse batch; covered elsewhere")
+		}
+		if res.Stats.SuffixLen == 0 {
+			continue
+		}
+		if !res.Stats.OracleReused || res.Stats.OracleBuilt {
+			t.Fatalf("second repair after compaction: OracleReused=%v OracleBuilt=%v, want true/false",
+				res.Stats.OracleReused, res.Stats.OracleBuilt)
+		}
+		break
+	}
+}
+
 // TestIncrementalCompaction drives enough delete churn to trigger the
 // automatic compaction and checks the decision table survives the
 // renumbering.
@@ -534,14 +772,17 @@ func TestIncrementalCompaction(t *testing.T) {
 
 // FuzzIncrementalDifferential feeds fuzzer-chosen instance shapes and delta
 // sequences through the engine with the digest-identity check after every
-// batch. The seed corpus pins both fault modes, weight-tie regimes, fault
-// events, and the empty-start path.
+// batch, running every sequence through both the state-reuse engine and its
+// DisableStateReuse ablation twin and locking the two paths to each other.
+// The seed corpus pins both fault modes, weight-tie regimes, fault events,
+// the empty-start path, and a long churny delete-heavy run.
 func FuzzIncrementalDifferential(f *testing.F) {
 	f.Add(int64(1), uint64(8), uint64(10), uint64(0), uint64(1), uint64(3))
 	f.Add(int64(2), uint64(10), uint64(6), uint64(1), uint64(2), uint64(4))
 	f.Add(int64(3), uint64(6), uint64(14), uint64(0), uint64(0), uint64(2))
 	f.Add(int64(4), uint64(0), uint64(0), uint64(1), uint64(1), uint64(5))
 	f.Add(int64(5), uint64(9), uint64(9), uint64(0), uint64(2), uint64(3))
+	f.Add(int64(6), uint64(11), uint64(15), uint64(1), uint64(0), uint64(9))
 	f.Fuzz(func(t *testing.T, seed int64, n, extra, modeSel, faults, batches uint64) {
 		rng := rand.New(rand.NewSource(seed))
 		mode := fault.Vertices
@@ -553,14 +794,22 @@ func FuzzIncrementalDifferential(f *testing.F) {
 			Faults:  int(faults % 3),
 			Mode:    mode,
 		}
-		var eng *Incremental
+		ablOpts := opts
+		ablOpts.DisableStateReuse = true
+		var eng, abl *Incremental
 		var err error
 		if n%12 == 0 {
 			eng, err = NewIncremental(nil, opts)
+			if err == nil {
+				abl, err = NewIncremental(nil, ablOpts)
+			}
 		} else {
 			nv := 4 + int(n%8)
 			g := randomInstance(rng, nv, int(extra%16), weightKind(extra%4))
 			eng, err = NewIncremental(g, opts)
+			if err == nil {
+				abl, err = NewIncremental(g, ablOpts)
+			}
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -572,7 +821,11 @@ func FuzzIncrementalDifferential(f *testing.F) {
 			if _, err := eng.ApplyBatch(b); err != nil {
 				t.Fatalf("batch %d: %v", i, err)
 			}
+			if _, err := abl.ApplyBatch(b); err != nil {
+				t.Fatalf("batch %d (ablation): %v", i, err)
+			}
 			checkIncrementalDifferential(t, eng, fmt.Sprintf("batch %d", i))
+			checkAblationAgree(t, eng, abl, fmt.Sprintf("batch %d", i))
 		}
 	})
 }

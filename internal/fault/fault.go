@@ -26,12 +26,21 @@ package fault
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/ftspanner/ftspanner/internal/bitset"
 	"github.com/ftspanner/ftspanner/internal/graph"
 	"github.com/ftspanner/ftspanner/internal/sssp"
 )
+
+// constructions counts NewOracle calls process-wide. Incremental-engine
+// tests and benchmarks read it to prove that non-fallback delta batches
+// reuse the retained oracle instead of constructing a fresh one.
+var constructions atomic.Int64
+
+// Constructions returns the process-wide NewOracle call count.
+func Constructions() int64 { return constructions.Load() }
 
 // Mode selects the kind of faults to search over.
 type Mode int
@@ -199,6 +208,7 @@ func NewOracle(g *graph.Graph, mode Mode, opts Options) (*Oracle, error) {
 	if edgeCap <= 0 {
 		edgeCap = g.NumEdges()
 	}
+	constructions.Add(1)
 	n := g.NumVertices()
 	return &Oracle{
 		g:          g,
@@ -231,6 +241,38 @@ func (o *Oracle) Rebind(g *graph.Graph) error {
 	if g.NumEdges() > o.forbiddenE.Cap() {
 		return fmt.Errorf("fault: rebind graph has %d edges, over EdgeCapacity %d",
 			g.NumEdges(), o.forbiddenE.Cap())
+	}
+	o.g = g
+	return nil
+}
+
+// Rewind is Rebind for long-lived oracles whose graph shrinks and regrows
+// between query runs: it re-aims the oracle at g — typically the same graph
+// after a Graph.Truncate and before a fresh run of appends — growing the
+// vertex structures when g gained vertices and the edge masks up to
+// edgeCapacity (the maximum edge ID the graph will hold before the next
+// Rewind; zero keeps the current capacity).
+//
+// All accumulated state carries over, exactly as with Rebind: the memo table
+// is generation-stamped per query so entries from earlier graph states can
+// never serve, and cached witnesses are only used after revalidation against
+// the current graph — a stale witness whose element IDs now mean different
+// edges either fails its one-Dijkstra recheck or proves a genuine fault set
+// of the current graph, which is all the caller ever relies on. The
+// incremental spanner engine uses this to carry one oracle across delta
+// batches instead of rebuilding it per batch.
+func (o *Oracle) Rewind(g *graph.Graph, edgeCapacity int) error {
+	if n := g.NumVertices(); n > o.forbiddenV.Cap() {
+		o.forbiddenV = bitset.New(n)
+		o.packV = bitset.New(n)
+		o.solver.Ensure(n)
+	}
+	if edgeCapacity < g.NumEdges() {
+		edgeCapacity = g.NumEdges()
+	}
+	if edgeCapacity > o.forbiddenE.Cap() {
+		o.forbiddenE = bitset.New(edgeCapacity)
+		o.packE = bitset.New(edgeCapacity)
 	}
 	o.g = g
 	return nil

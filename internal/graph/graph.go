@@ -192,6 +192,49 @@ func (g *Graph) Compact() {
 	g.dead = 0
 }
 
+// Truncate rewinds the graph to its first n edges, undoing every AddEdge
+// past that watermark: the later edges leave the edge list, their arcs are
+// popped off the tails of their endpoints' CSR blocks, and their endpoint
+// pairs become free for re-insertion. Vertices are never removed.
+//
+// This is what makes the CSR arena checkpointable for append-heavy callers:
+// an edge count recorded earlier IS a checkpoint, because arcs are only ever
+// appended to block tails in edge-ID order (relocation and compaction both
+// preserve within-block order), so rewinding pops exactly the arcs added
+// since. Cost is O(edges removed). The incremental spanner engine uses this
+// to rewind its kept-prefix graph to a batch's divergence point instead of
+// rebuilding it edge by edge.
+//
+// Truncate breaks the append-only contract that makes Snapshot views safe
+// against concurrent parent mutation: views taken before the truncation may
+// observe popped arcs being overwritten by later appends. It must not be
+// called while any view of the graph is still in use, and panics on a view.
+func (g *Graph) Truncate(n int) {
+	if g.view {
+		panic(ErrReadOnlyView)
+	}
+	if n < 0 || n > len(g.edges) {
+		panic(fmt.Sprintf("graph: Truncate(%d) with %d edges", n, len(g.edges)))
+	}
+	for id := len(g.edges) - 1; id >= n; id-- {
+		e := g.edges[id]
+		g.popArc(e.U, id)
+		g.popArc(e.V, id)
+		delete(g.index, normPair(e.U, e.V))
+	}
+	g.edges = g.edges[:n]
+}
+
+// popArc removes the tail arc of v's CSR block, which must carry the given
+// edge ID — the block-order invariant Truncate relies on.
+func (g *Graph) popArc(v, id int) {
+	s := &g.seg[v]
+	if s.deg == 0 || g.arcs[s.off+s.deg-1].ID != id {
+		panic(fmt.Sprintf("graph: Truncate: vertex %d block tail is not edge %d", v, id))
+	}
+	s.deg--
+}
+
 // MustAddEdge is AddEdge for construction code where the inputs are known
 // valid (generators, tests). It panics on error.
 func (g *Graph) MustAddEdge(u, v int, w float64) int {

@@ -251,3 +251,127 @@ func TestQuickAdjacencyConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTruncate checks the checkpoint/rewind primitive: truncating back to a
+// watermark removes exactly the edges appended after it — adjacency blocks,
+// endpoint index, and edge list all rewind — and the graph accepts fresh
+// appends at the freed IDs afterwards.
+func TestTruncate(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 2, 3)
+	g.MustAddEdge(2, 3, 4)
+
+	g.Truncate(4) // no-op at the current watermark
+	if g.NumEdges() != 4 {
+		t.Fatalf("Truncate(len) changed NumEdges to %d", g.NumEdges())
+	}
+	g.Truncate(2)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d after Truncate(2), want 2", g.NumEdges())
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(2, 3) {
+		t.Fatal("truncated edges still resolve via HasEdge")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("surviving edges lost by Truncate")
+	}
+	if g.Degree(2) != 1 || g.Degree(0) != 1 || g.Degree(3) != 0 {
+		t.Fatalf("degrees after truncate: %d/%d/%d, want 1/1/0",
+			g.Degree(0), g.Degree(2), g.Degree(3))
+	}
+
+	// Freed IDs are reused by fresh appends, and a truncated pair may rejoin
+	// with a different weight.
+	if id := g.MustAddEdge(2, 4, 5); id != 2 {
+		t.Fatalf("post-truncate append got ID %d, want 2", id)
+	}
+	if id := g.MustAddEdge(0, 2, 7); id != 3 {
+		t.Fatalf("second post-truncate append got ID %d, want 3", id)
+	}
+	if e, ok := g.EdgeBetween(0, 2); !ok || e.Weight != 7 {
+		t.Fatalf("re-added pair (0,2): %+v ok=%v, want weight 7", e, ok)
+	}
+
+	// Rewind-and-replay yields the same digest as building directly.
+	direct := New(5)
+	direct.MustAddEdge(0, 1, 1)
+	direct.MustAddEdge(1, 2, 2)
+	direct.MustAddEdge(2, 4, 5)
+	direct.MustAddEdge(0, 2, 7)
+	if g.Digest() != direct.Digest() {
+		t.Fatalf("rewind+replay digest %s != direct build %s", g.Digest(), direct.Digest())
+	}
+
+	g.Truncate(0)
+	if g.NumEdges() != 0 {
+		t.Fatalf("Truncate(0) left %d edges", g.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Fatalf("Truncate(0) left degree %d at vertex %d", g.Degree(v), v)
+		}
+	}
+}
+
+// TestTruncateRandomReplay is the property form: for a random append
+// sequence, truncating to a random watermark and replaying the tail is
+// indistinguishable (by digest and adjacency sums) from never rewinding.
+func TestTruncateRandomReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		type add struct {
+			u, v int
+			w    float64
+		}
+		var seq []add
+		ref := New(n)
+		for tries := 0; tries < 4*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || ref.HasEdge(u, v) {
+				continue
+			}
+			w := 1 + rng.Float64()
+			ref.MustAddEdge(u, v, w)
+			seq = append(seq, add{u, v, w})
+		}
+		g := New(n)
+		for _, a := range seq {
+			g.MustAddEdge(a.u, a.v, a.w)
+		}
+		cut := rng.Intn(len(seq) + 1)
+		g.Truncate(cut)
+		for _, a := range seq[cut:] {
+			g.MustAddEdge(a.u, a.v, a.w)
+		}
+		if g.Digest() != ref.Digest() {
+			t.Fatalf("trial %d: digest diverged after Truncate(%d)+replay", trial, cut)
+		}
+		degSum := 0
+		for v := 0; v < n; v++ {
+			degSum += g.Degree(v)
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("trial %d: degree sum %d != 2*%d edges", trial, degSum, g.NumEdges())
+		}
+	}
+}
+
+// TestTruncatePanics pins the misuse contract: out-of-range watermarks and
+// read-only views reject loudly.
+func TestTruncatePanics(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative watermark", func() { g.Truncate(-1) })
+	mustPanic("watermark past end", func() { g.Truncate(2) })
+}

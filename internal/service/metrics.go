@@ -33,16 +33,18 @@ type metrics struct {
 	jobsDeadline  atomic.Int64 // jobs that missed their DeadlineMs
 
 	// Graph-session counters (session.go).
-	sessionsCreated      atomic.Int64 // sessions created
-	sessionsClosed       atomic.Int64 // sessions closed by DELETE
-	sessionsEvicted      atomic.Int64 // idle sessions closed by the retention janitor
-	sessionsSeeded       atomic.Int64 // sessions whose engine seeded from the result cache
-	sessionDeltaBatches  atomic.Int64 // applied delta batches
-	sessionDeltaOps      atomic.Int64 // individual delta operations applied
-	sessionFullRebuilds  atomic.Int64 // batches resolved by a from-scratch rebuild
-	sessionOracleQueries atomic.Int64 // live oracle queries during suffix repairs
-	sessionShortcuts     atomic.Int64 // suffix decisions carried over without a query
-	sessionCachePuts     atomic.Int64 // session results published into the cache tiers
+	sessionsCreated       atomic.Int64 // sessions created
+	sessionsClosed        atomic.Int64 // sessions closed by DELETE
+	sessionsEvicted       atomic.Int64 // idle sessions closed by the retention janitor
+	sessionsSeeded        atomic.Int64 // sessions whose engine seeded from the result cache
+	sessionDeltaBatches   atomic.Int64 // applied delta batches
+	sessionDeltaOps       atomic.Int64 // individual delta operations applied
+	sessionFullRebuilds   atomic.Int64 // batches resolved by a from-scratch rebuild
+	sessionOracleQueries  atomic.Int64 // live oracle queries during suffix repairs
+	sessionShortcuts      atomic.Int64 // suffix decisions carried over without a query
+	sessionCachePuts      atomic.Int64 // session results published into the cache tiers
+	sessionOracleReuses   atomic.Int64 // suffix repairs that rewound the retained prefix graph + oracle
+	sessionOracleRebuilds atomic.Int64 // suffix repairs that built them from scratch (fallback or first batch)
 
 	maxPipeline atomic.Int64 // deepest effective pipeline any completed build ran
 
@@ -213,6 +215,13 @@ type MetricsSnapshot struct {
 	SessionOracleQueriesTotal int64 `json:"session_oracle_queries_total"`
 	SessionShortcutsTotal     int64 `json:"session_shortcut_decisions_total"`
 	SessionCachePutsTotal     int64 `json:"session_cache_puts_total"`
+	// SessionOracleReuses counts suffix repairs that rewound the engine's
+	// retained prefix graph and oracle to the divergence point;
+	// SessionOracleRebuilds counts repairs that constructed them from
+	// scratch (first batch after create/fallback, or reuse disabled). Their
+	// ratio is the reuse efficacy of the persistent incremental engine.
+	SessionOracleReusesTotal   int64 `json:"session_oracle_reuses_total"`
+	SessionOracleRebuildsTotal int64 `json:"session_oracle_rebuilds_total"`
 	// BuildsInFlight and MaxConcurrentBuilds gauge worker-pool usage: how
 	// many builds hold a slot right now and the most that ever did at once.
 	BuildsInFlight      int64 `json:"builds_in_flight"`
@@ -278,6 +287,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		SessionOracleQueriesTotal: s.met.sessionOracleQueries.Load(),
 		SessionShortcutsTotal:     s.met.sessionShortcuts.Load(),
 		SessionCachePutsTotal:     s.met.sessionCachePuts.Load(),
+
+		SessionOracleReusesTotal:   s.met.sessionOracleReuses.Load(),
+		SessionOracleRebuildsTotal: s.met.sessionOracleRebuilds.Load(),
 
 		BuildsInFlight:      s.met.buildsInFlight.Load(),
 		MaxConcurrentBuilds: s.met.maxInFlight.Load(),

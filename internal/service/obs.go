@@ -13,21 +13,23 @@ import (
 // operations (oracle fault-set queries, store reads/writes) run. All are
 // safe for concurrent recording and summarized in GET /metrics.
 type latencies struct {
-	queueWait   [numClasses]*obs.Histogram
-	build       *obs.Histogram
-	persist     *obs.Histogram
-	storeGet    *obs.Histogram
-	storePut    *obs.Histogram
-	oracleQuery *obs.Histogram
+	queueWait    [numClasses]*obs.Histogram
+	build        *obs.Histogram
+	persist      *obs.Histogram
+	storeGet     *obs.Histogram
+	storePut     *obs.Histogram
+	oracleQuery  *obs.Histogram
+	sessionDelta *obs.Histogram
 }
 
 func newLatencies() *latencies {
 	l := &latencies{
-		build:       obs.NewHistogram(),
-		persist:     obs.NewHistogram(),
-		storeGet:    obs.NewHistogram(),
-		storePut:    obs.NewHistogram(),
-		oracleQuery: obs.NewHistogram(),
+		build:        obs.NewHistogram(),
+		persist:      obs.NewHistogram(),
+		storeGet:     obs.NewHistogram(),
+		storePut:     obs.NewHistogram(),
+		oracleQuery:  obs.NewHistogram(),
+		sessionDelta: obs.NewHistogram(),
 	}
 	for c := range l.queueWait {
 		l.queueWait[c] = obs.NewHistogram()
@@ -64,16 +66,21 @@ type LatencySnapshot struct {
 	// OracleQuery is the sampled latency of fault-set oracle queries inside
 	// builds (1 in 8 queries is timed to keep overhead negligible).
 	OracleQuery obs.Summary `json:"oracle_query"`
+	// SessionDelta is the per-batch wall-clock duration of session delta
+	// applications (the incremental engine's suffix repair, or its full
+	// rebuild fallback).
+	SessionDelta obs.Summary `json:"session_delta"`
 }
 
 func (l *latencies) snapshot() LatencySnapshot {
 	s := LatencySnapshot{
-		QueueWait:   make(map[Priority]obs.Summary, numClasses),
-		Build:       l.build.Summarize(),
-		Persist:     l.persist.Summarize(),
-		StoreGet:    l.storeGet.Summarize(),
-		StorePut:    l.storePut.Summarize(),
-		OracleQuery: l.oracleQuery.Summarize(),
+		QueueWait:    make(map[Priority]obs.Summary, numClasses),
+		Build:        l.build.Summarize(),
+		Persist:      l.persist.Summarize(),
+		StoreGet:     l.storeGet.Summarize(),
+		StorePut:     l.storePut.Summarize(),
+		OracleQuery:  l.oracleQuery.Summarize(),
+		SessionDelta: l.sessionDelta.Summarize(),
 	}
 	for c := class(0); c < numClasses; c++ {
 		s.QueueWait[c.Priority()] = l.queueWait[c].Summarize()

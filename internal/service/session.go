@@ -66,6 +66,12 @@ type SessionSpec struct {
 	// NoCache opts the session out of the two-tier result cache: no seeding
 	// at create, no publishing after batches.
 	NoCache bool `json:"no_cache,omitempty"`
+	// DisableStateReuse turns off carrying the engine's prefix graph and
+	// fault oracle across delta batches
+	// (core.IncrementalOptions.DisableStateReuse): every suffix repair then
+	// rebuilds both from scratch. Ablation/measurement knob — results are
+	// digest-identical either way, batches are just slower.
+	DisableStateReuse bool `json:"disable_state_reuse,omitempty"`
 }
 
 // Session delta operation names.
@@ -234,10 +240,11 @@ func validateSessionSpec(spec *SessionSpec) error {
 func (s *Server) incrementalOptions(spec SessionSpec) core.IncrementalOptions {
 	mode, _ := parseMode(spec.Mode) // validated already
 	return core.IncrementalOptions{
-		Stretch:          spec.Stretch,
-		Faults:           spec.Faults,
-		Mode:             mode,
-		RebuildThreshold: spec.RebuildThreshold,
+		Stretch:           spec.Stretch,
+		Faults:            spec.Faults,
+		Mode:              mode,
+		RebuildThreshold:  spec.RebuildThreshold,
+		DisableStateReuse: spec.DisableStateReuse,
 		Oracle: fault.Options{
 			ObserveQuery: func(d time.Duration) { s.lat.oracleQuery.Record(d) },
 		},
@@ -525,6 +532,8 @@ type sessionDeltasResponse struct {
 	ShortcutKeeps int     `json:"shortcut_keeps"`
 	ShortcutDrops int     `json:"shortcut_drops"`
 	FullRebuild   bool    `json:"full_rebuild,omitempty"`
+	OracleReused  bool    `json:"oracle_reused,omitempty"`
+	OracleBuilt   bool    `json:"oracle_built,omitempty"`
 	DirtyFraction float64 `json:"dirty_fraction"`
 	DurationMS    float64 `json:"duration_ms"`
 }
@@ -622,6 +631,8 @@ func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 		ShortcutKeeps: res.Stats.ShortcutKeeps,
 		ShortcutDrops: res.Stats.ShortcutDrops,
 		FullRebuild:   res.Stats.FullRebuild,
+		OracleReused:  res.Stats.OracleReused,
+		OracleBuilt:   res.Stats.OracleBuilt,
 		DirtyFraction: res.Stats.DirtyFraction,
 		DurationMS:    float64(res.Stats.Duration.Microseconds()) / 1000,
 	}
@@ -631,8 +642,15 @@ func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 	s.met.sessionDeltaOps.Add(int64(len(req.Deltas)))
 	s.met.sessionOracleQueries.Add(res.Stats.OracleQueries)
 	s.met.sessionShortcuts.Add(int64(res.Stats.ShortcutKeeps + res.Stats.ShortcutDrops))
+	s.lat.sessionDelta.Record(res.Stats.Duration)
 	if res.Stats.FullRebuild {
 		s.met.sessionFullRebuilds.Add(1)
+	}
+	if res.Stats.OracleReused {
+		s.met.sessionOracleReuses.Add(1)
+	}
+	if res.Stats.OracleBuilt {
+		s.met.sessionOracleRebuilds.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -456,6 +456,41 @@ func TestSessionMetrics(t *testing.T) {
 	if m.SessionCachePutsTotal < 2 { // create + batch
 		t.Fatalf("session_cache_puts_total = %d, want >= 2", m.SessionCachePutsTotal)
 	}
+	// The kept-edge delete dirties the whole suffix: the first batch resolves
+	// by full rebuild, so no retained oracle exists yet. The delta latency
+	// histogram records every batch regardless of path.
+	if m.SessionFullRebuildsTotal != 1 || m.SessionOracleRebuildsTotal != 0 || m.SessionOracleReusesTotal != 0 {
+		t.Fatalf("after full-rebuild batch: full=%d rebuilds=%d reuses=%d, want 1/0/0",
+			m.SessionFullRebuildsTotal, m.SessionOracleRebuildsTotal, m.SessionOracleReusesTotal)
+	}
+	if m.Latency.SessionDelta.Count != 1 {
+		t.Fatalf("session_delta latency count = %d, want 1", m.Latency.SessionDelta.Count)
+	}
+
+	// A small suffix repair after the rebuild constructs the retained state
+	// from scratch; the next one rewinds it.
+	w = postJSON(t, s, "/v1/sessions/"+id+"/deltas", map[string]any{
+		"deltas": []map[string]any{{"op": "insert", "u": 0, "v": 2, "weight": 5}},
+	})
+	dr := decodeBody[sessionDeltasResponse](t, w)
+	if dr.FullRebuild || !dr.OracleBuilt || dr.OracleReused {
+		t.Fatalf("post-rebuild batch: %+v, want a from-scratch suffix repair", dr)
+	}
+	w = postJSON(t, s, "/v1/sessions/"+id+"/deltas", map[string]any{
+		"deltas": []map[string]any{{"op": "insert", "u": 1, "v": 3, "weight": 6}},
+	})
+	dr = decodeBody[sessionDeltasResponse](t, w)
+	if dr.FullRebuild || !dr.OracleReused || dr.OracleBuilt {
+		t.Fatalf("reuse batch: %+v, want a rewound suffix repair", dr)
+	}
+	m = s.Metrics()
+	if m.SessionOracleReusesTotal != 1 || m.SessionOracleRebuildsTotal != 1 {
+		t.Fatalf("oracle reuse counters: rebuilds=%d reuses=%d, want 1/1",
+			m.SessionOracleRebuildsTotal, m.SessionOracleReusesTotal)
+	}
+	if m.Latency.SessionDelta.Count != 3 {
+		t.Fatalf("session_delta latency count = %d, want 3", m.Latency.SessionDelta.Count)
+	}
 
 	req := httptest.NewRequest("DELETE", "/v1/sessions/"+id, nil)
 	rw := httptest.NewRecorder()
@@ -463,6 +498,51 @@ func TestSessionMetrics(t *testing.T) {
 	m = s.Metrics()
 	if m.SessionsActive != 0 || m.SessionsClosedTotal != 1 {
 		t.Fatalf("post-delete gauges: active=%d closed=%d", m.SessionsActive, m.SessionsClosedTotal)
+	}
+}
+
+// TestSessionStateReuseAblation drives the same delta stream through a
+// default session and a disable_state_reuse one: digests must stay identical
+// while the ablated engine reports oracle_built on every repairing batch.
+func TestSessionStateReuseAblation(t *testing.T) {
+	s := sessionTestServer(t, Config{})
+	mk := func(disable bool) string {
+		w := postJSON(t, s, "/v1/sessions", map[string]any{
+			"graph": pathGraph(t, 6), "stretch": 3, "faults": 1,
+			"disable_state_reuse": disable, "no_cache": true,
+		})
+		if w.Code != http.StatusCreated {
+			t.Fatalf("create(disable=%v) = %d: %s", disable, w.Code, w.Body.String())
+		}
+		return decodeBody[sessionResponse](t, w).ID
+	}
+	reuse, ablated := mk(false), mk(true)
+	batches := [][]map[string]any{
+		{{"op": "insert", "u": 5, "v": 0, "weight": 2}},
+		{{"op": "insert", "u": 0, "v": 3, "weight": 3}},
+		{{"op": "delete", "u": 5, "v": 0}},
+	}
+	for i, deltas := range batches {
+		wr := postJSON(t, s, "/v1/sessions/"+reuse+"/deltas", map[string]any{"deltas": deltas})
+		wa := postJSON(t, s, "/v1/sessions/"+ablated+"/deltas", map[string]any{"deltas": deltas})
+		if wr.Code != http.StatusOK || wa.Code != http.StatusOK {
+			t.Fatalf("batch %d: reuse=%d ablated=%d", i, wr.Code, wa.Code)
+		}
+		dr := decodeBody[sessionDeltasResponse](t, wr)
+		da := decodeBody[sessionDeltasResponse](t, wa)
+		if dr.Digest != da.Digest || dr.Kept != da.Kept {
+			t.Fatalf("batch %d: ablation diverged: reuse %s/%d vs ablated %s/%d",
+				i, dr.Digest, dr.Kept, da.Digest, da.Kept)
+		}
+		if da.OracleReused {
+			t.Fatalf("batch %d: ablated session reused state", i)
+		}
+		if da.SuffixLen > 0 && !da.FullRebuild && !da.OracleBuilt {
+			t.Fatalf("batch %d: ablated repair did not rebuild the oracle: %+v", i, da)
+		}
+		if i > 0 && dr.SuffixLen > 0 && !dr.FullRebuild && !dr.OracleReused {
+			t.Fatalf("batch %d: reuse session did not rewind: %+v", i, dr)
+		}
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR6.json -current bench.json [-threshold 0.25] [-prefix Large]
+//	benchgate -baseline BENCH_PR10.json -current bench.json [-threshold 0.25] [-prefix Large,Session]
 //
 // Both files may be either a raw `ftbench -benchjson` report (top-level
 // "benchmarks" array) or a recorded BENCH_PR<n>.json trajectory document
@@ -58,12 +58,17 @@ func loadReport(path string) (*report, error) {
 	return nil, fmt.Errorf("%s: neither a benchjson report nor a trajectory with an \"after\" section", path)
 }
 
-// nsByName indexes a report's gated cases by name.
+// nsByName indexes a report's gated cases by name. prefix is a
+// comma-separated list; a case is gated when any element matches.
 func nsByName(r *report, prefix string) map[string]float64 {
+	prefixes := strings.Split(prefix, ",")
 	m := make(map[string]float64)
 	for _, b := range r.Benchmarks {
-		if strings.HasPrefix(b.Name, prefix) && b.NsPerOp > 0 {
-			m[b.Name] = b.NsPerOp
+		for _, p := range prefixes {
+			if p != "" && strings.HasPrefix(b.Name, p) && b.NsPerOp > 0 {
+				m[b.Name] = b.NsPerOp
+				break
+			}
 		}
 	}
 	return m
@@ -104,7 +109,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON (BENCH_PR<n>.json or raw benchjson)")
 	current := flag.String("current", "", "freshly generated benchjson report")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = 25%)")
-	prefix := flag.String("prefix", "Large", "gate only benchmarks whose name starts with this prefix")
+	prefix := flag.String("prefix", "Large", "gate only benchmarks whose name starts with one of these comma-separated prefixes")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are both required")

@@ -61,6 +61,33 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestCompareMultiPrefix(t *testing.T) {
+	base := rpt(
+		benchEntry{Name: "LargeVFTf2Seq", NsPerOp: 1000},
+		benchEntry{Name: "SessionSmallDelta", NsPerOp: 100},
+		benchEntry{Name: "BuildVFTf1", NsPerOp: 100}, // not gated by either prefix
+	)
+
+	// Both prefixes gate: a Session regression fails a Large,Session gate.
+	fails, lines := compare(base, rpt(
+		benchEntry{Name: "LargeVFTf2Seq", NsPerOp: 1000},
+		benchEntry{Name: "SessionSmallDelta", NsPerOp: 200},
+		benchEntry{Name: "BuildVFTf1", NsPerOp: 10000},
+	), "Large,Session", 0.25)
+	if len(lines) != 2 {
+		t.Fatalf("compared %d cases, want 2: %v", len(lines), lines)
+	}
+	if len(fails) != 1 || !strings.Contains(fails[0], "SessionSmallDelta") {
+		t.Fatalf("session regression not caught under multi-prefix gate: %v", fails)
+	}
+
+	// A missing Session case fails too.
+	fails, _ = compare(base, rpt(benchEntry{Name: "LargeVFTf2Seq", NsPerOp: 1000}), "Large,Session", 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "SessionSmallDelta") {
+		t.Fatalf("missing session case not caught: %v", fails)
+	}
+}
+
 func TestLoadReportBothShapes(t *testing.T) {
 	dir := t.TempDir()
 	raw := filepath.Join(dir, "raw.json")
